@@ -1,0 +1,37 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build vet test race bench sim examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Regenerate every table and figure of the paper (tee'd outputs land in
+# test_output.txt / bench_output.txt).
+bench:
+	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
+
+sim:
+	$(GO) run ./cmd/condor-sim
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/migration
+	$(GO) run ./examples/fairshare
+	$(GO) run ./examples/paramsweep
+	$(GO) run ./examples/reservation
+
+clean:
+	rm -f test_output.txt bench_output.txt

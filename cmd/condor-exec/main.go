@@ -1,0 +1,83 @@
+// Command condor-exec runs a VM program locally (no pool, no shadow):
+// assemble, execute against an in-memory filesystem seeded from -input
+// files, and print what the program wrote. It is the "run it on my own
+// workstation" baseline the paper's leverage metric compares against,
+// and doubles as an assembler/VM debugging tool (-trace disassembles).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"condor/internal/cvm"
+)
+
+func main() {
+	var (
+		input = flag.String("input", "", "comma-separated files to preload into the job's filesystem")
+		steps = flag.Uint64("max-steps", 2_000_000_000, "instruction budget")
+		trace = flag.Bool("trace", false, "print the disassembly before running")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: condor-exec [flags] program.casm")
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), *input, *steps, *trace); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(path, input string, maxSteps uint64, trace bool) error {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+	prog, err := cvm.Assemble(name, string(src))
+	if err != nil {
+		return err
+	}
+	if trace {
+		for _, line := range prog.Disassemble() {
+			fmt.Println(line)
+		}
+	}
+	host := cvm.NewMemHost()
+	if input != "" {
+		for _, f := range strings.Split(input, ",") {
+			data, err := os.ReadFile(f)
+			if err != nil {
+				return err
+			}
+			host.SetFile(filepath.Base(f), data)
+		}
+	}
+	vm, err := cvm.New(prog, host, cvm.Config{})
+	if err != nil {
+		return err
+	}
+	status, err := vm.Run(maxSteps)
+	fmt.Print(host.Stdout())
+	switch status {
+	case cvm.StatusHalted:
+		fmt.Fprintf(os.Stderr, "halted exit=%d steps=%d syscalls=%d\n",
+			vm.ExitCode(), vm.Steps(), vm.Syscalls())
+		for _, fname := range host.Files() {
+			data, _ := host.File(fname)
+			fmt.Fprintf(os.Stderr, "file %s: %d bytes\n", fname, len(data))
+		}
+		if code := vm.ExitCode(); code != 0 {
+			return fmt.Errorf("program exited with code %d", code)
+		}
+		return nil
+	case cvm.StatusFaulted:
+		return err
+	default:
+		return fmt.Errorf("step budget exhausted after %d instructions", vm.Steps())
+	}
+}

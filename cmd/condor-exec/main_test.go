@@ -1,0 +1,85 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeProg(t *testing.T, src string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "prog.casm")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunExecutesProgram(t *testing.T) {
+	path := writeProg(t, `
+.data
+msg: .str "ok\n"
+.text
+start:
+    MOVI r0, msg
+    MOVI r1, 3
+    SYS  print
+    HALT 0
+`)
+	if err := run(path, "", 1000, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithInputFile(t *testing.T) {
+	dir := t.TempDir()
+	input := filepath.Join(dir, "in")
+	if err := os.WriteFile(input, []byte("abc"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	path := writeProg(t, `
+.data
+name: .str "in"
+.bss
+buf: .space 8
+.text
+start:
+    MOVI r0, name
+    MOVI r1, 2
+    MOVI r2, 1
+    SYS  open
+    MOVI r9, 0
+    JLT  r0, r9, fail
+    MOVI r1, buf
+    MOVI r2, 8
+    SYS  read
+    MOVI r9, 3
+    JNE  r0, r9, fail
+    HALT 0
+fail:
+    HALT 1
+`)
+	if err := run(path, input, 10_000, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadSource(t *testing.T) {
+	path := writeProg(t, "FROB r0\n")
+	if err := run(path, "", 1000, false); err == nil {
+		t.Fatal("bad source accepted")
+	}
+}
+
+func TestRunReportsStepExhaustion(t *testing.T) {
+	path := writeProg(t, ".text\nstart:\n JMP start\n")
+	if err := run(path, "", 100, false); err == nil {
+		t.Fatal("infinite loop not bounded")
+	}
+}
+
+func TestRunMissingFile(t *testing.T) {
+	if err := run("/nonexistent.casm", "", 100, false); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

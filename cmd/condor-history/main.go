@@ -1,0 +1,54 @@
+// Command condor-history prints a daemon's recent event log: the
+// submit/place/suspend/vacate/complete trail of jobs from a station, or
+// the grant/preempt/reservation decisions from the coordinator. With
+// -job it shows one job's full lifecycle.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"condor/internal/proto"
+	"condor/internal/wire"
+)
+
+func main() {
+	var (
+		addr  = flag.String("addr", "127.0.0.1:9620", "station or coordinator address")
+		jobID = flag.String("job", "", "show only this job's trail")
+		limit = flag.Int("limit", 50, "max events (0 = all retained)")
+	)
+	flag.Parse()
+	if err := run(*addr, *jobID, *limit); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(addr, jobID string, limit int) error {
+	peer, err := wire.Dial(addr, 5*time.Second, nil)
+	if err != nil {
+		return err
+	}
+	defer peer.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	reply, err := peer.Call(ctx, proto.HistoryRequest{JobID: jobID, Limit: limit})
+	if err != nil {
+		return err
+	}
+	hr, ok := reply.(proto.HistoryReply)
+	if !ok {
+		return fmt.Errorf("unexpected reply %T", reply)
+	}
+	if len(hr.Events) == 0 {
+		fmt.Println("(no events)")
+		return nil
+	}
+	for _, e := range hr.Events {
+		fmt.Println(e.String())
+	}
+	return nil
+}

@@ -1,0 +1,84 @@
+// Command condor-reserve manages §5.3 reservations: it grants one
+// station exclusive remote use of an execution machine for a bounded
+// time ("reservations guarantee computing capacity for users in advance
+// in order to conduct experiments in distributed computations"). The
+// workstation's owner is unaffected — reservations only arbitrate among
+// remote users.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"condor/internal/proto"
+	"condor/internal/wire"
+)
+
+func main() {
+	var (
+		coordAddr = flag.String("coordinator", "127.0.0.1:9618", "coordinator address")
+		station   = flag.String("station", "", "machine to reserve")
+		holder    = flag.String("for", "", "station whose jobs may use it")
+		duration  = flag.Duration("duration", time.Hour, "reservation length")
+		cancel    = flag.Bool("cancel", false, "cancel the station's reservation instead")
+	)
+	flag.Parse()
+	if err := run(*coordAddr, *station, *holder, *duration, *cancel); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(coordAddr, station, holder string, duration time.Duration, cancelIt bool) error {
+	if station == "" {
+		return fmt.Errorf("-station is required")
+	}
+	peer, err := wire.Dial(coordAddr, 5*time.Second, nil)
+	if err != nil {
+		return err
+	}
+	defer peer.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	if cancelIt {
+		reply, err := peer.Call(ctx, proto.CancelReservationRequest{Station: station})
+		if err != nil {
+			return err
+		}
+		cr, ok := reply.(proto.CancelReservationReply)
+		if !ok {
+			return fmt.Errorf("unexpected reply %T", reply)
+		}
+		if cr.Cancelled {
+			fmt.Printf("reservation on %s cancelled\n", station)
+		} else {
+			fmt.Printf("%s had no reservation\n", station)
+		}
+		return nil
+	}
+
+	if holder == "" {
+		return fmt.Errorf("-for is required (the station whose jobs may use the machine)")
+	}
+	reply, err := peer.Call(ctx, proto.ReserveRequest{
+		Station:        station,
+		Holder:         holder,
+		DurationMillis: duration.Milliseconds(),
+	})
+	if err != nil {
+		return err
+	}
+	rr, ok := reply.(proto.ReserveReply)
+	if !ok {
+		return fmt.Errorf("unexpected reply %T", reply)
+	}
+	if !rr.OK {
+		return fmt.Errorf("refused: %s", rr.Reason)
+	}
+	fmt.Printf("%s reserved for %s until %s\n", station, holder,
+		time.UnixMilli(rr.UntilUnixMillis).Format(time.RFC3339))
+	return nil
+}

@@ -1,0 +1,176 @@
+// Command condor-sim reproduces the paper's evaluation section: it runs
+// the month-scale simulation of the 23-workstation pool under the
+// Table 1 workload and prints every table and figure (Table 1, Figures
+// 2–9) plus the §3 scalars. The -experiment flag prints a single
+// artifact; -ablation runs the design-choice comparisons from DESIGN.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"time"
+
+	"condor/internal/policy"
+	"condor/internal/simulation"
+)
+
+// writeFileWith creates path and streams fn's output into it.
+func writeFileWith(path string, fn func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func main() {
+	var (
+		machines   = flag.Int("machines", 23, "number of workstations")
+		days       = flag.Int("days", 30, "observation window in days")
+		seed       = flag.Int64("seed", 1987, "random seed")
+		experiment = flag.String("experiment", "all",
+			"what to print: all, table1, fig2..fig9, scalars")
+		ablation = flag.String("ablation", "",
+			"run an ablation: vacate, pacing, updown, history, periodic")
+		seeds   = flag.Int("seeds", 0, "aggregate over this many seeds (prints mean ± std) instead of one run")
+		jsonOut = flag.String("json", "", "also write the full report as JSON to this file")
+		csvOut  = flag.String("csv", "", "also write hourly+by-demand CSVs with this path prefix")
+	)
+	flag.Parse()
+	if *seeds > 1 {
+		cfg := baseConfig(*machines, *days, *seed)
+		list := make([]int64, *seeds)
+		for i := range list {
+			list[i] = *seed + int64(i)
+		}
+		fmt.Print(simulation.RunMany(cfg, list).String())
+		return
+	}
+	if err := run(*machines, *days, *seed, *experiment, *ablation, *jsonOut, *csvOut); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func baseConfig(machines, days int, seed int64) simulation.Config {
+	cfg := simulation.DefaultConfig()
+	cfg.Machines = machines
+	cfg.Days = days
+	cfg.Seed = seed
+	return cfg
+}
+
+func run(machines, days int, seed int64, experiment, ablation, jsonOut, csvOut string) error {
+	cfg := baseConfig(machines, days, seed)
+	if ablation != "" {
+		return runAblation(cfg, ablation)
+	}
+	rep := simulation.Run(cfg)
+	if jsonOut != "" {
+		if err := writeFileWith(jsonOut, rep.WriteJSON); err != nil {
+			return err
+		}
+	}
+	if csvOut != "" {
+		if err := writeFileWith(csvOut+"-hourly.csv", rep.WriteHourlyCSV); err != nil {
+			return err
+		}
+		if err := writeFileWith(csvOut+"-by-demand.csv", rep.WriteByDemandCSV); err != nil {
+			return err
+		}
+	}
+	switch experiment {
+	case "all":
+		fmt.Print(rep.String())
+	case "table1":
+		fmt.Print(rep.Table1())
+	case "fig2":
+		fmt.Print(rep.Figure2())
+	case "fig3":
+		fmt.Print(rep.Figure3())
+	case "fig4":
+		fmt.Print(rep.Figure4())
+	case "fig5":
+		fmt.Print(rep.Figure5())
+	case "fig6":
+		fmt.Print(rep.Figure6())
+	case "fig7":
+		fmt.Print(rep.Figure7())
+	case "fig8":
+		fmt.Print(rep.Figure8())
+	case "fig9":
+		fmt.Print(rep.Figure9())
+	case "scalars":
+		printScalars(rep)
+	default:
+		return fmt.Errorf("unknown experiment %q", experiment)
+	}
+	return nil
+}
+
+func printScalars(rep *simulation.Report) {
+	fmt.Printf("jobs: %d submitted, %d completed\n", rep.TotalJobs, rep.CompletedJobs)
+	fmt.Printf("machine-hours: %.0f total, %.0f available (%.0f%%), %.0f consumed by Condor\n",
+		rep.TotalMachineHours, rep.AvailableHours,
+		100*rep.AvailableHours/rep.TotalMachineHours, rep.ConsumedHours)
+	fmt.Printf("local utilization: %.0f%%\n", 100*rep.LocalUtilMean)
+	fmt.Printf("wait ratio: all %.2f, light users %.2f\n",
+		rep.MeanWaitRatioAll, rep.MeanWaitRatioLight)
+	fmt.Printf("leverage: overall %.0f, short jobs %.0f\n",
+		rep.OverallLeverage, rep.ShortJobLeverage)
+	fmt.Printf("checkpoints/job %.2f; vacates %d; preemptions %d\n",
+		rep.MeanCkptsPerJob, rep.Vacates, rep.Preempts)
+	fmt.Printf("peak per-station placement burst: %d per cycle\n", rep.PeakStationBurst)
+}
+
+func runAblation(base simulation.Config, which string) error {
+	type variant struct {
+		name string
+		cfg  simulation.Config
+	}
+	var variants []variant
+	switch which {
+	case "vacate":
+		kill := base
+		kill.Vacate = simulation.VacateKillImmediately
+		kill.PeriodicCheckpoint = 30 * time.Minute
+		variants = []variant{{"suspend-then-vacate (paper)", base}, {"kill-immediately + 30m periodic ckpt (§4)", kill}}
+	case "pacing":
+		burst := base
+		burst.Policy = policy.DefaultConfig()
+		burst.Policy.MaxGrantsPerCycle = 16
+		burst.Policy.AllowBurstPerStation = true
+		variants = []variant{{"paced placements (paper §4)", base}, {"unpaced bursts", burst}}
+	case "updown":
+		fifo := base
+		fifo.FIFO = true
+		variants = []variant{{"Up-Down (paper)", base}, {"FIFO grants", fifo}}
+	case "history":
+		hist := base
+		hist.Policy = policy.DefaultConfig()
+		hist.Policy.Placement = policy.PlaceHistory
+		variants = []variant{{"first-fit placement (paper)", base}, {"availability-history placement (§5.1)", hist}}
+	case "periodic":
+		per := base
+		per.PeriodicCheckpoint = time.Hour
+		variants = []variant{{"checkpoint on vacate only (paper)", base}, {"+ hourly periodic checkpoints (§4)", per}}
+	default:
+		return fmt.Errorf("unknown ablation %q", which)
+	}
+	for _, v := range variants {
+		rep := simulation.Run(v.cfg)
+		fmt.Printf("=== %s ===\n", v.name)
+		printScalars(rep)
+		if rep.WorkLostHours > 0 {
+			fmt.Printf("work redone: %.1f h\n", rep.WorkLostHours)
+		}
+		fmt.Println()
+	}
+	return nil
+}

@@ -1,0 +1,44 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestFileMonitor(t *testing.T) {
+	dir := t.TempDir()
+	marker := filepath.Join(dir, "owner")
+	m := fileMonitor{path: marker}
+	if m.OwnerActive() {
+		t.Fatal("active with no marker file")
+	}
+	if err := os.WriteFile(marker, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if !m.OwnerActive() {
+		t.Fatal("inactive despite marker file")
+	}
+	os.Remove(marker)
+	if m.OwnerActive() {
+		t.Fatal("still active after marker removed")
+	}
+}
+
+func TestFileMonitorEmptyPathMeansIdle(t *testing.T) {
+	m := fileMonitor{}
+	if m.OwnerActive() {
+		t.Fatal("empty path must mean always idle")
+	}
+}
+
+func TestBuildMonitor(t *testing.T) {
+	for _, kind := range []string{"", "file", "load", "never"} {
+		if _, err := buildMonitor(stationOpts{monitor: kind}); err != nil {
+			t.Fatalf("monitor %q: %v", kind, err)
+		}
+	}
+	if _, err := buildMonitor(stationOpts{monitor: "psychic"}); err == nil {
+		t.Fatal("unknown monitor accepted")
+	}
+}

@@ -1,0 +1,61 @@
+// Command condor-status prints the coordinator's pool table: every
+// registered workstation with its state, queue depth, Up-Down schedule
+// index, and the foreign job it is hosting.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"condor/internal/metrics"
+	"condor/internal/proto"
+	"condor/internal/wire"
+)
+
+func main() {
+	coordAddr := flag.String("coordinator", "127.0.0.1:9618", "coordinator address")
+	flag.Parse()
+	if err := run(*coordAddr); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(coordAddr string) error {
+	peer, err := wire.Dial(coordAddr, 5*time.Second, nil)
+	if err != nil {
+		return err
+	}
+	defer peer.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	reply, err := peer.Call(ctx, proto.PoolStatusRequest{})
+	if err != nil {
+		return err
+	}
+	sr, ok := reply.(proto.PoolStatusReply)
+	if !ok {
+		return fmt.Errorf("unexpected reply %T", reply)
+	}
+	rows := make([][]string, 0, len(sr.Stations))
+	for _, s := range sr.Stations {
+		age := "-"
+		if !s.LastPoll.IsZero() {
+			age = time.Since(s.LastPoll).Round(time.Second).String()
+		}
+		rows = append(rows, []string{
+			s.Name, s.State.String(),
+			fmt.Sprintf("%d", s.WaitingJobs),
+			fmt.Sprintf("%d", s.RunningJobs),
+			s.ForeignJob,
+			fmt.Sprintf("%.1f", s.ScheduleIndex),
+			age,
+		})
+	}
+	fmt.Print(metrics.Table(
+		[]string{"Station", "State", "Waiting", "Running", "ForeignJob", "Index", "Polled"},
+		rows))
+	return nil
+}

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestSampleProgram(t *testing.T) {
+	cases := map[string]bool{
+		"sum:1000":   true,
+		"primes:500": true,
+		"pi:1000":    true,
+		"spin:99":    true,
+		"matmul:4":   true,
+		"collatz:10": true,
+		"sum":        false, // missing param
+		"frob:10":    false, // unknown kind
+		"sum:xyz":    false, // bad param
+		"":           false,
+	}
+	for spec, ok := range cases {
+		prog, err := sampleProgram(spec)
+		if ok && (err != nil || prog == nil) {
+			t.Errorf("sampleProgram(%q) = %v, want success", spec, err)
+		}
+		if !ok && err == nil {
+			t.Errorf("sampleProgram(%q) succeeded, want error", spec)
+		}
+	}
+}
+
+func TestBuildRequestFromSample(t *testing.T) {
+	req, err := buildRequest("alice", "", "", "sum:42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.Owner != "alice" || len(req.ProgramBlob) == 0 || req.Name != "sum-42" {
+		t.Fatalf("req = %+v", req)
+	}
+}
+
+func TestBuildRequestFromFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "prog.casm")
+	src := ".text\nstart:\n HALT 0\n"
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	req, err := buildRequest("bob", path, "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.Source != src {
+		t.Fatalf("source = %q", req.Source)
+	}
+	if !strings.HasSuffix(req.Name, "prog.casm") && req.Name == "" {
+		t.Fatalf("name = %q", req.Name)
+	}
+}
+
+func TestBuildRequestRequiresInput(t *testing.T) {
+	if _, err := buildRequest("a", "", "", ""); err == nil {
+		t.Fatal("empty request accepted")
+	}
+	if _, err := buildRequest("a", "/nonexistent/file.casm", "", ""); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

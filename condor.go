@@ -1,0 +1,118 @@
+package condor
+
+import (
+	"fmt"
+
+	"condor/internal/ckpt"
+	"condor/internal/cvm"
+	"condor/internal/eventlog"
+	"condor/internal/proto"
+	"condor/internal/schedd"
+	"condor/internal/simulation"
+)
+
+// Re-exported core types. The implementation lives in internal packages;
+// these aliases are the public names.
+type (
+	// Program is an executable for the checkpointable VM.
+	Program = cvm.Program
+	// JobStatus describes a queued, running or finished job.
+	JobStatus = proto.JobStatus
+	// JobState is a job's lifecycle state.
+	JobState = proto.JobState
+	// StationInfo is one row of the coordinator's pool table.
+	StationInfo = proto.StationInfo
+	// Report carries the full reproduced evaluation (Table 1, Figures
+	// 2–9 and the §3 scalars).
+	Report = simulation.Report
+	// SimConfig parameterizes a Simulate run.
+	SimConfig = simulation.Config
+	// StoreUsage summarizes a checkpoint store's disk footprint.
+	StoreUsage = ckpt.Usage
+	// SubmitOptions tunes one submission (priority, stack size).
+	SubmitOptions = schedd.SubmitOptions
+	// Event is one entry of a daemon's event history.
+	Event = eventlog.Event
+)
+
+// Job lifecycle states.
+const (
+	JobIdle      = proto.JobIdle
+	JobPlacing   = proto.JobPlacing
+	JobRunning   = proto.JobRunning
+	JobSuspended = proto.JobSuspendedState
+	JobCompleted = proto.JobCompleted
+	JobFaulted   = proto.JobFaulted
+	JobRemoved   = proto.JobRemoved
+)
+
+// Assemble compiles VM assembler source into a Program.
+func Assemble(name, source string) (*Program, error) {
+	return cvm.Assemble(name, source)
+}
+
+// Sample program constructors, re-exported for examples and quick use.
+var (
+	// SumProgram sums 1..n and prints the result.
+	SumProgram = cvm.SumProgram
+	// PrimeCountProgram counts primes below n and prints the count.
+	PrimeCountProgram = cvm.PrimeCountProgram
+	// MonteCarloPiProgram estimates π·10000 from n samples using the
+	// checkpointed RNG.
+	MonteCarloPiProgram = cvm.MonteCarloPiProgram
+	// FileCopyProgram copies a submit-machine file through the shadow.
+	FileCopyProgram = cvm.FileCopyProgram
+	// SpinProgram burns a controllable number of instructions.
+	SpinProgram = cvm.SpinProgram
+	// ReportProgram computes a sum and appends it to a result file.
+	ReportProgram = cvm.ReportProgram
+	// MatMulProgram multiplies two n×n matrices and prints the trace.
+	MatMulProgram = cvm.MatMulProgram
+	// CollatzProgram finds the longest 3n+1 trajectory below n.
+	CollatzProgram = cvm.CollatzProgram
+	// RandomSearchProgram random-searches an integer function using the
+	// checkpointed RNG.
+	RandomSearchProgram = cvm.RandomSearchProgram
+	// WordCountProgram counts words of a submit-machine file via the
+	// shadow.
+	WordCountProgram = cvm.WordCountProgram
+)
+
+// RunLocal executes a program on this machine against an in-memory
+// filesystem — the "just run it on my own workstation" baseline the
+// paper's leverage metric compares remote execution against. It returns
+// the program's stdout. maxSteps bounds execution (0 = 2 billion).
+func RunLocal(prog *Program, maxSteps uint64) (string, error) {
+	if maxSteps == 0 {
+		maxSteps = 2_000_000_000
+	}
+	host := cvm.NewMemHost()
+	vm, err := cvm.New(prog, host, cvm.Config{})
+	if err != nil {
+		return "", err
+	}
+	status, err := vm.Run(maxSteps)
+	switch status {
+	case cvm.StatusHalted:
+		if code := vm.ExitCode(); code != 0 {
+			return host.Stdout(), fmt.Errorf("condor: program exited with code %d", code)
+		}
+		return host.Stdout(), nil
+	case cvm.StatusFaulted:
+		return host.Stdout(), err
+	default:
+		return host.Stdout(), fmt.Errorf("condor: step budget exhausted after %d instructions", vm.Steps())
+	}
+}
+
+// Simulate runs the month-scale evaluation and returns its report.
+func Simulate(cfg SimConfig) *Report {
+	return simulation.Run(cfg)
+}
+
+// DefaultSimConfig returns the paper's operating point: 23 workstations,
+// 30 days, the Table 1 workload, 2-minute polls, Up-Down fairness and
+// the §3.1 cost model.
+func DefaultSimConfig() SimConfig {
+	return simulation.DefaultConfig()
+}

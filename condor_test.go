@@ -1,0 +1,271 @@
+package condor
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func fastPool(t *testing.T, n int) *Pool {
+	t.Helper()
+	p, err := NewPool(PoolConfig{Stations: n, Fast: true, SliceDelay: 200 * time.Microsecond, StepsPerSlice: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.Close)
+	return p
+}
+
+func TestPoolEndToEnd(t *testing.T) {
+	p := fastPool(t, 3)
+	jobID, err := p.Submit("ws0", "alice", SumProgram(10_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	status, err := p.Wait(jobID, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status.State != JobCompleted {
+		t.Fatalf("status = %+v", status)
+	}
+	if strings.TrimSpace(status.Stdout) != "50005000" {
+		t.Fatalf("stdout = %q", status.Stdout)
+	}
+}
+
+func TestPoolMigrationOnOwnerReturn(t *testing.T) {
+	p := fastPool(t, 3)
+	jobID, err := p.Submit("ws0", "alice", SumProgram(5_000_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait until it runs somewhere, then bring that owner back.
+	var execHost string
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		st, err := p.Job(jobID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State == JobRunning {
+			execHost = st.ExecHost
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never started: %+v", st)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if err := p.SetOwnerActive(execHost, true); err != nil {
+		t.Fatal(err)
+	}
+	status, err := p.Wait(jobID, 60*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status.State != JobCompleted {
+		t.Fatalf("status = %+v", status)
+	}
+	if strings.TrimSpace(status.Stdout) != "12500002500000" {
+		t.Fatalf("stdout = %q", status.Stdout)
+	}
+	if status.Checkpoints == 0 {
+		t.Fatal("job completed without ever checkpointing despite eviction")
+	}
+	if status.ExecHost == execHost {
+		t.Fatalf("job finished on %s where the owner is active", execHost)
+	}
+}
+
+func TestPoolStatusAndQueue(t *testing.T) {
+	p := fastPool(t, 2)
+	if _, err := p.Submit("ws1", "bob", SpinProgram(100)); err != nil {
+		t.Fatal(err)
+	}
+	q, err := p.Queue("ws1")
+	if err != nil || len(q) != 1 {
+		t.Fatalf("queue = %v err %v", q, err)
+	}
+	p.Cycle()
+	infos := p.Status()
+	if len(infos) != 2 {
+		t.Fatalf("status = %+v", infos)
+	}
+	names := p.StationNames()
+	if len(names) != 2 || names[0] != "ws0" {
+		t.Fatalf("names = %v", names)
+	}
+	if _, err := p.StationAddr("ws0"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.StationAddr("nope"); err == nil {
+		t.Fatal("unknown station accepted")
+	}
+	if p.CoordinatorAddr() == "" {
+		t.Fatal("no coordinator address")
+	}
+}
+
+func TestPoolRemove(t *testing.T) {
+	p := fastPool(t, 2)
+	jobID, err := p.Submit("ws0", "a", SpinProgram(500_000_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := p.Remove(jobID)
+	if err != nil || !ok {
+		t.Fatalf("remove = %v, %v", ok, err)
+	}
+	st, err := p.Job(jobID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != JobRemoved {
+		t.Fatalf("state = %v", st.State)
+	}
+}
+
+func TestPoolErrors(t *testing.T) {
+	p := fastPool(t, 1)
+	if _, err := p.Submit("nope", "a", SpinProgram(1)); err == nil {
+		t.Fatal("unknown station accepted")
+	}
+	if _, err := p.Job("garbage"); err == nil {
+		t.Fatal("malformed job id accepted")
+	}
+	if _, err := p.Job("nope/1"); err == nil {
+		t.Fatal("unknown home station accepted")
+	}
+	if err := p.SetOwnerActive("nope", true); err == nil {
+		t.Fatal("unknown station monitor accepted")
+	}
+	if _, err := p.Queue("nope"); err == nil {
+		t.Fatal("unknown station queue accepted")
+	}
+}
+
+func TestAssembleExported(t *testing.T) {
+	prog, err := Assemble("tiny", ".text\nstart:\n HALT 0\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Name != "tiny" || len(prog.Text) != 1 {
+		t.Fatalf("prog = %+v", prog)
+	}
+	if _, err := Assemble("bad", "FROB\n"); err == nil {
+		t.Fatal("bad source accepted")
+	}
+}
+
+func TestSimulateExported(t *testing.T) {
+	cfg := DefaultSimConfig()
+	cfg.Days = 3
+	cfg.DrainDays = 3
+	rep := Simulate(cfg)
+	if rep.TotalJobs == 0 || rep.CompletedJobs == 0 {
+		t.Fatalf("report = %d/%d jobs", rep.CompletedJobs, rep.TotalJobs)
+	}
+	if !strings.Contains(rep.String(), "Table 1") {
+		t.Fatal("report rendering broken")
+	}
+}
+
+func TestPoolReservation(t *testing.T) {
+	p := fastPool(t, 3)
+	until, err := p.Reserve("ws2", "ws1", time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if until.Before(time.Now()) {
+		t.Fatalf("until = %v", until)
+	}
+	// Visible in status.
+	p.Cycle()
+	found := false
+	for _, s := range p.Status() {
+		if s.Name == "ws2" && s.ReservedFor == "ws1" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("reservation missing from pool table")
+	}
+	if !p.CancelReservation("ws2") {
+		t.Fatal("cancel failed")
+	}
+}
+
+func TestPoolSubmitWithPriority(t *testing.T) {
+	p := fastPool(t, 1)
+	// Owner of the single machine is busy so nothing runs yet.
+	if err := p.SetOwnerActive("ws0", true); err != nil {
+		t.Fatal(err)
+	}
+	low, err := p.SubmitJob("ws0", "a", SumProgram(100), SubmitOptions{Priority: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := p.SubmitJob("ws0", "a", SumProgram(200), SubmitOptions{Priority: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := p.Queue("ws0")
+	if err != nil || len(q) != 2 {
+		t.Fatalf("queue = %v err %v", q, err)
+	}
+	if q[0].ID != low || q[0].Priority != 1 || q[1].Priority != 9 {
+		t.Fatalf("queue rows = %+v", q)
+	}
+	// Free the machine; the high-priority job must run first.
+	if err := p.SetOwnerActive("ws0", false); err != nil {
+		t.Fatal(err)
+	}
+	status, err := p.Wait(high, 30*time.Second)
+	if err != nil || status.State != JobCompleted {
+		t.Fatalf("high = %+v err %v", status, err)
+	}
+	lowStatus, err := p.Job(low)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lowStatus.State == JobCompleted && lowStatus.SubmittedAt.After(status.SubmittedAt) {
+		// Both may have completed by now; ordering was asserted at
+		// placement time by the schedd tests. Nothing more to check.
+		t.Log("both jobs completed")
+	}
+}
+
+func TestPoolHistory(t *testing.T) {
+	p := fastPool(t, 2)
+	jobID, err := p.Submit("ws0", "alice", SumProgram(20_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Wait(jobID, 30*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	trail, err := p.History("ws0", jobID, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trail) < 3 {
+		t.Fatalf("trail = %v", trail)
+	}
+	if trail[0].Kind != "submit" || trail[len(trail)-1].Kind != "complete" {
+		t.Fatalf("trail kinds = %v", trail)
+	}
+	coordEvents := p.CoordinatorHistory(0)
+	sawGrant := false
+	for _, e := range coordEvents {
+		if e.Kind == "grant" {
+			sawGrant = true
+		}
+	}
+	if !sawGrant {
+		t.Fatalf("coordinator history lacks the grant: %v", coordEvents)
+	}
+	if _, err := p.History("nope", "", 0); err == nil {
+		t.Fatal("unknown station accepted")
+	}
+}

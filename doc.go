@@ -1,0 +1,32 @@
+// Package condor is a Go reproduction of "Condor — A Hunter of Idle
+// Workstations" (Litzkow, Livny, Mutka; ICDCS 1988): a cycle-scavenging
+// batch scheduler for a pool of personally-owned workstations.
+//
+// The package exposes three layers:
+//
+//   - Pool: an in-process cluster of real communicating daemons — one
+//     coordinator plus N stations, each with a background-job queue, a
+//     checkpoint store, a starter for foreign jobs, and shadow processes
+//     for its own remote jobs. Jobs are programs for a small
+//     checkpointable VM (see NewProgram/Assemble); they migrate between
+//     machines with their full state when workstation owners return.
+//
+//   - Simulate: the month-scale discrete-event evaluation that
+//     regenerates every table and figure of the paper (Table 1, Figures
+//     2–9) using the same Up-Down and allocation policy code that drives
+//     the live daemons.
+//
+//   - The building blocks themselves, under internal/: the Remote Unix
+//     facility (internal/ru), the checkpoint format and stores
+//     (internal/ckpt), the VM (internal/cvm), the Up-Down algorithm
+//     (internal/updown) and the allocation policy (internal/policy).
+//
+// Quick start:
+//
+//	pool, err := condor.NewPool(condor.PoolConfig{Stations: 4, Fast: true})
+//	if err != nil { ... }
+//	defer pool.Close()
+//	jobID, err := pool.Submit("ws0", "alice", condor.SumProgram(1_000_000))
+//	status, err := pool.Wait(jobID, time.Minute)
+//	fmt.Println(status.Stdout)
+package condor

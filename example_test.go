@@ -1,0 +1,85 @@
+package condor_test
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"condor"
+)
+
+// ExampleNewPool runs a tiny in-process cluster: one coordinator, three
+// stations, one background job hunted onto an idle machine.
+func ExampleNewPool() {
+	pool, err := condor.NewPool(condor.PoolConfig{Stations: 3, Fast: true})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	defer pool.Close()
+
+	jobID, err := pool.Submit("ws0", "alice", condor.SumProgram(100))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	status, err := pool.Wait(jobID, time.Minute)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("%s %s %s\n", jobID, status.State, strings.TrimSpace(status.Stdout))
+	// Output: ws0/1 completed 5050
+}
+
+// ExampleRunLocal is the local-execution baseline: no pool, no shadow.
+func ExampleRunLocal() {
+	out, err := condor.RunLocal(condor.PrimeCountProgram(100), 0)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Print(out)
+	// Output: 25
+}
+
+// ExampleAssemble compiles a program for the checkpointable VM from
+// assembler source.
+func ExampleAssemble() {
+	prog, err := condor.Assemble("greeting", `
+.data
+msg: .str "hunting idle workstations\n"
+.text
+start:
+    MOVI r0, msg
+    MOVI r1, 26
+    SYS  print
+    HALT 0
+`)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	out, err := condor.RunLocal(prog, 0)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Print(out)
+	// Output: hunting idle workstations
+}
+
+// ExampleSimulate reproduces a (shortened) slice of the paper's
+// evaluation deterministically from a seed.
+func ExampleSimulate() {
+	cfg := condor.DefaultSimConfig()
+	cfg.Days = 3
+	cfg.DrainDays = 5
+	cfg.Seed = 42
+	rep := condor.Simulate(cfg)
+	fmt.Println("all jobs completed:", rep.CompletedJobs == rep.TotalJobs)
+	fmt.Println("light users waited less:", rep.MeanWaitRatioLight < rep.MeanWaitRatioAll)
+	// Output:
+	// all jobs completed: true
+	// light users waited less: true
+}

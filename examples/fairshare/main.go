@@ -1,0 +1,110 @@
+// Command fairshare reproduces the Up-Down fairness story of §2.4 at
+// demo scale: a heavy user floods the pool with long jobs; a light user
+// then submits one small job and — despite every machine being busy —
+// gets served promptly because the coordinator preempts one of the heavy
+// user's jobs (checkpointing it, not killing it).
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"condor"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	pool, err := condor.NewPool(condor.PoolConfig{
+		Stations:      5,
+		Fast:          true,
+		SliceDelay:    time.Millisecond,
+		StepsPerSlice: 10_000,
+	})
+	if err != nil {
+		return err
+	}
+	defer pool.Close()
+
+	// ws0 is the heavy user's machine, ws1 the light user's. Their
+	// owners are at their desks; ws2–ws4 are idle cycle servers.
+	for _, busy := range []string{"ws0", "ws1"} {
+		if err := pool.SetOwnerActive(busy, true); err != nil {
+			return err
+		}
+	}
+
+	var heavyJobs []string
+	for i := 0; i < 6; i++ {
+		id, err := pool.Submit("ws0", "heavy", condor.SpinProgram(500_000_000))
+		if err != nil {
+			return err
+		}
+		heavyJobs = append(heavyJobs, id)
+	}
+	fmt.Printf("heavy user queued %d long jobs\n", len(heavyJobs))
+
+	// Let the heavy user occupy all three idle machines.
+	waitFor(pool, func() bool { return running(pool, heavyJobs) >= 3 })
+	fmt.Println("heavy user now holds every idle machine")
+	printIndexes(pool)
+
+	lightID, err := pool.Submit("ws1", "light", condor.SumProgram(200_000))
+	if err != nil {
+		return err
+	}
+	fmt.Println("light user submits", lightID)
+	startWait := time.Now()
+	status, err := pool.Wait(lightID, 2*time.Minute)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("light job finished in %v: state=%s out=%s\n",
+		time.Since(startWait).Round(time.Millisecond), status.State,
+		strings.TrimSpace(status.Stdout))
+	printIndexes(pool)
+
+	// The preempted heavy job was checkpointed, not lost.
+	requeued := 0
+	for _, id := range heavyJobs {
+		st, err := pool.Job(id)
+		if err != nil {
+			return err
+		}
+		if st.Checkpoints > 0 {
+			requeued++
+		}
+	}
+	fmt.Printf("heavy jobs checkpointed by the preemption: %d (no work lost)\n", requeued)
+	return nil
+}
+
+func running(pool *condor.Pool, ids []string) int {
+	n := 0
+	for _, id := range ids {
+		if st, err := pool.Job(id); err == nil && st.State == condor.JobRunning {
+			n++
+		}
+	}
+	return n
+}
+
+func waitFor(pool *condor.Pool, cond func() bool) {
+	deadline := time.Now().Add(2 * time.Minute)
+	for !cond() && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func printIndexes(pool *condor.Pool) {
+	fmt.Println("  schedule indexes (lower = higher priority):")
+	for _, s := range pool.Status() {
+		fmt.Printf("    %-4s index=%6.1f state=%s\n", s.Name, s.ScheduleIndex, s.State)
+	}
+}

@@ -1,0 +1,81 @@
+// Command migration demonstrates the checkpointing story of §2.3: a
+// long-running job is chased around the pool as workstation owners
+// return, surviving every eviction with its state intact — including the
+// RNG of a Monte-Carlo computation, so the final answer equals the
+// uninterrupted one.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"condor"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	pool, err := condor.NewPool(condor.PoolConfig{
+		Stations: 3,
+		Fast:     true,
+		// Throttle execution so owners can interrupt the job mid-flight.
+		SliceDelay:    500 * time.Microsecond,
+		StepsPerSlice: 20_000,
+	})
+	if err != nil {
+		return err
+	}
+	defer pool.Close()
+
+	const samples = 2_000_000
+	jobID, err := pool.Submit("ws0", "alice", condor.MonteCarloPiProgram(samples))
+	if err != nil {
+		return err
+	}
+	fmt.Println("submitted Monte-Carlo job", jobID)
+
+	evictions := 0
+	lastHost := ""
+	deadline := time.Now().Add(3 * time.Minute)
+	for {
+		status, err := pool.Job(jobID)
+		if err != nil {
+			return err
+		}
+		if status.State == condor.JobCompleted {
+			fmt.Printf("\ncompleted after %d checkpoints and %d placements\n",
+				status.Checkpoints, status.Placements)
+			fmt.Println("π·10000 ≈", strings.TrimSpace(status.Stdout))
+			if evictions == 0 {
+				fmt.Println("(finished before any eviction — rerun for more drama)")
+			}
+			return nil
+		}
+		if status.State == condor.JobRunning && status.ExecHost != lastHost {
+			lastHost = status.ExecHost
+			fmt.Printf("running on %s (cpu so far: %d steps)\n", lastHost, status.CPUSteps)
+			// The owner of that machine comes back; Condor must suspend,
+			// wait out the grace period, checkpoint, and move the job.
+			if evictions < 3 {
+				evictions++
+				go func(host string) {
+					time.Sleep(30 * time.Millisecond)
+					fmt.Printf("owner returns to %s — evicting the job\n", host)
+					_ = pool.SetOwnerActive(host, true)
+					time.Sleep(300 * time.Millisecond)
+					_ = pool.SetOwnerActive(host, false)
+				}(lastHost)
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("job stuck in state %v", status.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

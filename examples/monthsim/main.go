@@ -1,0 +1,35 @@
+// Command monthsim reproduces the paper's whole evaluation section: it
+// simulates the 23-workstation pool for one month under the Table 1
+// workload and prints Table 1 and Figures 2–9. Flags allow parameter
+// exploration (pool size, window length, policies).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"condor"
+)
+
+func main() {
+	var (
+		machines = flag.Int("machines", 23, "number of workstations")
+		days     = flag.Int("days", 30, "observation window in days")
+		seed     = flag.Int64("seed", 1987, "random seed")
+	)
+	flag.Parse()
+	if err := run(*machines, *days, *seed); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(machines, days int, seed int64) error {
+	cfg := condor.DefaultSimConfig()
+	cfg.Machines = machines
+	cfg.Days = days
+	cfg.Seed = seed
+	rep := condor.Simulate(cfg)
+	fmt.Print(rep.String())
+	return nil
+}

@@ -1,0 +1,63 @@
+// Command quickstart spins up an in-process Condor pool of four
+// workstations, submits three background jobs from one of them, and
+// waits for the coordinator to hunt down idle machines and run them.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"condor"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	pool, err := condor.NewPool(condor.PoolConfig{Stations: 4, Fast: true})
+	if err != nil {
+		return err
+	}
+	defer pool.Close()
+	fmt.Println("pool up:", strings.Join(pool.StationNames(), ", "))
+	fmt.Println("coordinator at", pool.CoordinatorAddr())
+
+	// Three background jobs, the kind the paper's users ran: long
+	// compute loops with a printed result.
+	jobs := map[string]*condor.Program{
+		"sum":    condor.SumProgram(2_000_000),
+		"primes": condor.PrimeCountProgram(20_000),
+		"pi":     condor.MonteCarloPiProgram(500_000),
+	}
+	ids := make(map[string]string, len(jobs))
+	for name, prog := range jobs {
+		id, err := pool.Submit("ws0", "alice", prog)
+		if err != nil {
+			return fmt.Errorf("submit %s: %w", name, err)
+		}
+		ids[name] = id
+		fmt.Printf("submitted %-7s as %s\n", name, id)
+	}
+
+	for name, id := range ids {
+		status, err := pool.Wait(id, 2*time.Minute)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-7s state=%-9s exec=%-4s cpu=%-10d out=%s\n",
+			name, status.State, status.ExecHost, status.CPUSteps,
+			strings.TrimSpace(status.Stdout))
+	}
+
+	fmt.Println("\npool table:")
+	for _, s := range pool.Status() {
+		fmt.Printf("  %-4s state=%-9s waiting=%d index=%.1f\n",
+			s.Name, s.State, s.WaitingJobs, s.ScheduleIndex)
+	}
+	return nil
+}

@@ -1,0 +1,94 @@
+// Command reservation demonstrates the §5.3 reservation system: a
+// researcher reserves an execution machine ahead of an experiment. The
+// coordinator evicts (by checkpoint) the foreign job running there,
+// refuses to grant the machine to anyone else, and the holder's job gets
+// it on demand.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"condor"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	pool, err := condor.NewPool(condor.PoolConfig{
+		Stations:      4,
+		Fast:          true,
+		SliceDelay:    time.Millisecond,
+		StepsPerSlice: 10_000,
+	})
+	if err != nil {
+		return err
+	}
+	defer pool.Close()
+
+	// ws0 and ws1 are user desks (owners present); ws2 and ws3 idle.
+	for _, busy := range []string{"ws0", "ws1"} {
+		if err := pool.SetOwnerActive(busy, true); err != nil {
+			return err
+		}
+	}
+
+	// A competitor's long job lands on ws2 or ws3.
+	otherID, err := pool.Submit("ws0", "other", condor.SpinProgram(800_000_000))
+	if err != nil {
+		return err
+	}
+	var occupied string
+	waitFor(func() bool {
+		st, err := pool.Job(otherID)
+		if err == nil && st.State == condor.JobRunning {
+			occupied = st.ExecHost
+			return true
+		}
+		return false
+	})
+	fmt.Printf("competitor's job %s is running on %s\n", otherID, occupied)
+
+	// The researcher (ws1) reserves that very machine for an hour.
+	until, err := pool.Reserve(occupied, "ws1", time.Hour)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("reserved %s for ws1 until %s\n", occupied, until.Format(time.Kitchen))
+
+	// The coordinator enforces the reservation: the foreign job is
+	// checkpointed off.
+	waitFor(func() bool {
+		st, err := pool.Job(otherID)
+		return err == nil && st.State == condor.JobIdle && st.Checkpoints > 0
+	})
+	fmt.Printf("competitor's job evicted by checkpoint (no work lost)\n")
+
+	// The holder's experiment runs on the reserved machine.
+	mine, err := pool.Submit("ws1", "researcher", condor.SumProgram(500_000))
+	if err != nil {
+		return err
+	}
+	status, err := pool.Wait(mine, time.Minute)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("researcher's job ran on %s (reserved: %v) → %s\n",
+		status.ExecHost, status.ExecHost == occupied, status.State)
+
+	pool.CancelReservation(occupied)
+	fmt.Println("reservation released; the pool is open again")
+	return nil
+}
+
+func waitFor(cond func() bool) {
+	deadline := time.Now().Add(time.Minute)
+	for !cond() && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -1,0 +1,3 @@
+module condor
+
+go 1.22

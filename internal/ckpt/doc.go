@@ -1,0 +1,23 @@
+// Package ckpt implements Condor's checkpoint files and the per-machine
+// checkpoint store.
+//
+// A checkpoint file is a self-describing container: a fixed header
+// carrying a magic number, format version, architecture tag, job
+// identity and a CRC, followed by a gob-encoded cvm.Image. The paper's
+// §2.3 dictates the contents (text, data, bss, stack, registers, open
+// files); the Image type already captures those, so this package's job is
+// durability and integrity: a truncated or bit-flipped checkpoint must be
+// detected, never silently restored.
+//
+// The Store addresses two §4 operational problems:
+//
+//   - Full disks: checkpoint files of remotely executing jobs are kept on
+//     the submitting machine, so a user's local disk bounds how many jobs
+//     they can keep in the system. The Store enforces a capacity and
+//     returns ErrDiskFull, which the local scheduler surfaces when
+//     placement would exceed it.
+//   - Shared text segments: users submit many copies of one program with
+//     different parameters, so the Store keeps a single reference-counted
+//     copy of each distinct text segment (keyed by checksum) instead of
+//     one per checkpoint.
+package ckpt

@@ -1,0 +1,151 @@
+package ckpt
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"condor/internal/cvm"
+)
+
+// randomImage builds a structurally valid image with randomized state,
+// mimicking a job snapshotted at an arbitrary point.
+func randomImage(r *rand.Rand) *cvm.Image {
+	progs := []*cvm.Program{
+		cvm.SumProgram(int64(r.Intn(10_000) + 1)),
+		cvm.PrimeCountProgram(int64(r.Intn(5_000) + 10)),
+		cvm.MonteCarloPiProgram(int64(r.Intn(10_000) + 100)),
+		cvm.SpinProgram(int64(r.Intn(100_000) + 1)),
+	}
+	prog := progs[r.Intn(len(progs))]
+	vm, err := cvm.New(prog, cvm.NewMemHost(), cvm.Config{})
+	if err != nil {
+		panic(err)
+	}
+	// Run a random number of steps so the snapshot lands anywhere in the
+	// program's life.
+	if _, err := vm.Run(uint64(r.Intn(50_000))); err != nil {
+		// Programs here cannot fault; a host error is impossible with
+		// MemHost.
+		panic(err)
+	}
+	return vm.Snapshot()
+}
+
+// TestPropertyEncodeDecodeIdentity: any snapshot encodes and decodes to
+// an image whose resumed execution is indistinguishable.
+func TestPropertyEncodeDecodeIdentity(t *testing.T) {
+	property := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		img := randomImage(r)
+		meta := Meta{JobID: "p/1", Owner: "prop", Sequence: uint64(r.Intn(100))}
+		blob, err := EncodeBytes(meta, img)
+		if err != nil {
+			return false
+		}
+		gotMeta, gotImg, err := DecodeBytes(blob)
+		if err != nil {
+			return false
+		}
+		if gotMeta.Sequence != meta.Sequence || gotMeta.JobID != meta.JobID {
+			return false
+		}
+		if gotImg.PC != img.PC || gotImg.SP != img.SP || gotImg.Steps != img.Steps ||
+			gotImg.RNG != img.RNG || gotImg.Status != img.Status {
+			return false
+		}
+		if len(gotImg.Mem) != len(img.Mem) || len(gotImg.Stack) != len(img.Stack) {
+			return false
+		}
+		for i := range img.Mem {
+			if gotImg.Mem[i] != img.Mem[i] {
+				return false
+			}
+		}
+		for i := range img.Stack {
+			if gotImg.Stack[i] != img.Stack[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertySingleBitFlipsDetected: any single-byte corruption of the
+// payload region is detected (CRC), and any corruption of the header is
+// either detected or produces a structured error — never a silent
+// wrong-image restore.
+func TestPropertySingleBitFlipsDetected(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	img := randomImage(r)
+	blob, err := EncodeBytes(Meta{JobID: "p/2"}, img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	property := func(pos uint16, bit uint8) bool {
+		i := int(pos) % len(blob)
+		mutated := append([]byte(nil), blob...)
+		mutated[i] ^= 1 << (bit % 8)
+		if bytes.Equal(mutated, blob) {
+			return true // no-op flip cannot happen with xor, but be safe
+		}
+		meta, decoded, err := DecodeBytes(mutated)
+		if err != nil {
+			return true // detected: good
+		}
+		// Decoded successfully despite the flip: only acceptable if the
+		// flip landed in a part of the payload whose corruption keeps
+		// both CRC and content identical — impossible for single flips.
+		// A header length-field flip that still decodes cleanly would
+		// also be a miss.
+		_ = meta
+		_ = decoded
+		return false
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyStorePutGetIdempotent: store round trips preserve resumed
+// behaviour for both store variants.
+func TestPropertyStorePutGetIdempotent(t *testing.T) {
+	property := func(seed int64, shared bool) bool {
+		r := rand.New(rand.NewSource(seed))
+		img := randomImage(r)
+		s := NewMemStore(0, shared)
+		if err := s.Put(Meta{JobID: "p/3"}, img); err != nil {
+			return false
+		}
+		_, got, err := s.Get("p/3")
+		if err != nil {
+			return false
+		}
+		// Resume both and compare final answers. A snapshot taken after
+		// the program halted has nothing left to run.
+		finish := func(im *cvm.Image) (string, bool) {
+			host := cvm.NewMemHost()
+			vm, err := cvm.Restore(im, host)
+			if err != nil {
+				return "", false
+			}
+			if vm.Status() != cvm.StatusRunning {
+				return "", true
+			}
+			if st, err := vm.Run(100_000_000); st != cvm.StatusHalted || err != nil {
+				return "", false
+			}
+			return host.Stdout(), true
+		}
+		a, ok1 := finish(img)
+		b, ok2 := finish(got)
+		return ok1 && ok2 && a == b
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

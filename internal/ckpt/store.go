@@ -1,0 +1,245 @@
+package ckpt
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"condor/internal/cvm"
+)
+
+// Store-level errors.
+var (
+	// ErrNotFound is returned when no checkpoint exists for the job.
+	ErrNotFound = errors.New("ckpt: checkpoint not found")
+	// ErrDiskFull is returned when storing a checkpoint would exceed the
+	// store's capacity — the §4 "users let their disk become full"
+	// condition that blocks further placements.
+	ErrDiskFull = errors.New("ckpt: disk full")
+)
+
+// Usage summarizes a store's footprint.
+type Usage struct {
+	// Bytes is the total space consumed, including shared text.
+	Bytes int64 `json:"bytes"`
+	// Checkpoints is the number of stored checkpoints.
+	Checkpoints int `json:"checkpoints"`
+	// TextBytes is the portion of Bytes occupied by text segments.
+	TextBytes int64 `json:"textBytes"`
+	// SharedTexts is the number of distinct text segments stored.
+	SharedTexts int `json:"sharedTexts"`
+}
+
+// Store is a per-machine checkpoint repository. Implementations must be
+// safe for concurrent use.
+type Store interface {
+	// Put saves the checkpoint, replacing any previous one for the job.
+	Put(meta Meta, img *cvm.Image) error
+	// Get returns the most recent checkpoint for the job.
+	Get(jobID string) (Meta, *cvm.Image, error)
+	// Delete removes the job's checkpoint. Deleting a missing checkpoint
+	// is not an error.
+	Delete(jobID string) error
+	// Has reports whether a checkpoint exists for the job.
+	Has(jobID string) bool
+	// List returns metadata for all stored checkpoints, sorted by job id.
+	List() []Meta
+	// Usage returns the store's current footprint.
+	Usage() Usage
+	// Capacity returns the store's byte capacity (0 = unlimited).
+	Capacity() int64
+}
+
+const instrBytes = 32 // one Instr is 4 words
+
+func textBytes(n int) int64 { return int64(n) * instrBytes }
+
+// cloneImage deep-copies an image so the store and the caller cannot
+// mutate each other's state. The program text is immutable by the VM's
+// contract and may be shared.
+func cloneImage(img *cvm.Image) *cvm.Image {
+	clone := *img
+	clone.Mem = append([]int64(nil), img.Mem...)
+	clone.Stack = append([]int64(nil), img.Stack...)
+	clone.Files = append([]cvm.OpenFile(nil), img.Files...)
+	prog := *img.Program
+	prog.Data = append([]int64(nil), img.Program.Data...)
+	clone.Program = &prog
+	return &clone
+}
+
+// textEntry is one reference-counted shared text segment.
+type textEntry struct {
+	text []cvm.Instr
+	refs int
+}
+
+type memCkpt struct {
+	meta  Meta
+	img   *cvm.Image
+	bytes int64 // space charged to this checkpoint (excludes shared text)
+}
+
+// MemStore is an in-memory Store with optional shared text segments.
+// Daemons use it for fast in-process pools and tests; DirStore provides
+// the durable variant.
+type MemStore struct {
+	mu       sync.Mutex
+	capacity int64
+	share    bool
+	ckpts    map[string]memCkpt
+	texts    map[string]*textEntry
+}
+
+var _ Store = (*MemStore)(nil)
+
+// NewMemStore returns an in-memory store. capacity is the byte budget (0
+// = unlimited); shareText enables the §4 shared-text optimization.
+func NewMemStore(capacity int64, shareText bool) *MemStore {
+	return &MemStore{
+		capacity: capacity,
+		share:    shareText,
+		ckpts:    make(map[string]memCkpt),
+		texts:    make(map[string]*textEntry),
+	}
+}
+
+// Put implements Store.
+func (s *MemStore) Put(meta Meta, img *cvm.Image) error {
+	if img == nil {
+		return errors.New("ckpt: nil image")
+	}
+	if meta.JobID == "" {
+		return errors.New("ckpt: empty job id")
+	}
+	if err := img.Validate(); err != nil {
+		return fmt.Errorf("ckpt: refusing to store invalid image: %w", err)
+	}
+	if meta.TextChecksum == "" {
+		meta.TextChecksum = img.Program.TextChecksum()
+	}
+	if meta.Arch == "" {
+		meta.Arch = ArchCVM64
+	}
+	stored := cloneImage(img)
+
+	newBytes := stored.SizeBytes()
+	if s.share {
+		newBytes -= textBytes(len(img.Program.Text))
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var newTextBytes int64
+	if s.share {
+		if _, exists := s.texts[meta.TextChecksum]; !exists {
+			newTextBytes = textBytes(len(img.Program.Text))
+		}
+	}
+	var reclaimed int64
+	if old, ok := s.ckpts[meta.JobID]; ok {
+		reclaimed = old.bytes
+	}
+	if s.capacity > 0 {
+		projected := s.usageLocked().Bytes - reclaimed + newBytes + newTextBytes
+		if projected > s.capacity {
+			return fmt.Errorf("%w: need %d bytes, capacity %d", ErrDiskFull, projected, s.capacity)
+		}
+	}
+	if old, ok := s.ckpts[meta.JobID]; ok {
+		s.dropTextRefLocked(old.meta.TextChecksum)
+	}
+	if s.share {
+		entry, ok := s.texts[meta.TextChecksum]
+		if !ok {
+			entry = &textEntry{text: img.Program.Text}
+			s.texts[meta.TextChecksum] = entry
+		}
+		entry.refs++
+		// The stored image shares the canonical text slice.
+		stored.Program.Text = entry.text
+	}
+	s.ckpts[meta.JobID] = memCkpt{meta: meta, img: stored, bytes: newBytes}
+	return nil
+}
+
+// Get implements Store.
+func (s *MemStore) Get(jobID string) (Meta, *cvm.Image, error) {
+	s.mu.Lock()
+	ck, ok := s.ckpts[jobID]
+	s.mu.Unlock()
+	if !ok {
+		return Meta{}, nil, fmt.Errorf("%w: job %q", ErrNotFound, jobID)
+	}
+	return ck.meta, cloneImage(ck.img), nil
+}
+
+// Delete implements Store.
+func (s *MemStore) Delete(jobID string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ck, ok := s.ckpts[jobID]
+	if !ok {
+		return nil
+	}
+	delete(s.ckpts, jobID)
+	s.dropTextRefLocked(ck.meta.TextChecksum)
+	return nil
+}
+
+func (s *MemStore) dropTextRefLocked(sum string) {
+	if !s.share {
+		return
+	}
+	entry, ok := s.texts[sum]
+	if !ok {
+		return
+	}
+	entry.refs--
+	if entry.refs <= 0 {
+		delete(s.texts, sum)
+	}
+}
+
+// Has implements Store.
+func (s *MemStore) Has(jobID string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.ckpts[jobID]
+	return ok
+}
+
+// List implements Store.
+func (s *MemStore) List() []Meta {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Meta, 0, len(s.ckpts))
+	for _, ck := range s.ckpts {
+		out = append(out, ck.meta)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].JobID < out[j].JobID })
+	return out
+}
+
+// Usage implements Store.
+func (s *MemStore) Usage() Usage {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.usageLocked()
+}
+
+func (s *MemStore) usageLocked() Usage {
+	u := Usage{Checkpoints: len(s.ckpts), SharedTexts: len(s.texts)}
+	for _, ck := range s.ckpts {
+		u.Bytes += ck.bytes
+	}
+	for _, t := range s.texts {
+		u.TextBytes += textBytes(len(t.text))
+	}
+	u.Bytes += u.TextBytes
+	return u
+}
+
+// Capacity implements Store.
+func (s *MemStore) Capacity() int64 { return s.capacity }

@@ -1,0 +1,419 @@
+// Package coordinator implements Condor's central coordinator (§2.1): a
+// deliberately thin daemon that polls every registered station on a
+// fixed interval, maintains the Up-Down schedule indexes, and assigns
+// capacity from idle workstations to stations with background jobs
+// waiting. All job state stays at the stations; if the coordinator dies,
+// running jobs are unaffected and only new allocations stop — restarting
+// it (anywhere) rebuilds its entire state from registrations and polls.
+package coordinator
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"condor/internal/eventlog"
+	"condor/internal/policy"
+	"condor/internal/proto"
+	"condor/internal/updown"
+	"condor/internal/wire"
+)
+
+// Config parameterizes a coordinator.
+type Config struct {
+	// ListenAddr is the bind address (default "127.0.0.1:0").
+	ListenAddr string
+	// PollInterval is the station poll period (paper: 2 minutes).
+	PollInterval time.Duration
+	// DialTimeout bounds one station RPC.
+	DialTimeout time.Duration
+	// Policy tunes allocation; zero value means policy.DefaultConfig.
+	Policy policy.Config
+	// UpDown tunes the fairness index; zero value means defaults.
+	UpDown updown.Config
+	// DeadAfter unregisters a station that has failed this many
+	// consecutive polls (default 5).
+	DeadAfter int
+}
+
+func (c *Config) sanitize() {
+	if c.ListenAddr == "" {
+		c.ListenAddr = "127.0.0.1:0"
+	}
+	if c.PollInterval <= 0 {
+		c.PollInterval = 2 * time.Minute
+	}
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 5 * time.Second
+	}
+	if c.DeadAfter <= 0 {
+		c.DeadAfter = 5
+	}
+	if c.Policy.MaxGrantsPerCycle == 0 {
+		c.Policy = policy.DefaultConfig()
+	}
+	if c.UpDown.UpRate == 0 {
+		c.UpDown = updown.DefaultConfig()
+	}
+}
+
+// station is the coordinator's view of one workstation.
+type station struct {
+	name      string
+	addr      string
+	lastPoll  time.Time
+	lastReply proto.PollReply
+	failures  int
+	reachable bool
+}
+
+// Stats counts coordinator activity.
+type Stats struct {
+	Cycles     uint64
+	Polls      uint64
+	PollFails  uint64
+	Grants     uint64
+	GrantsUsed uint64
+	Preempts   uint64
+}
+
+// Coordinator is the central capacity allocator.
+type Coordinator struct {
+	cfg    Config
+	server *wire.Server
+	table  *updown.Table
+	events *eventlog.Log
+
+	mu           sync.Mutex
+	stations     map[string]*station
+	stats        Stats
+	reservations map[string]reservation
+
+	stop      chan struct{}
+	done      chan struct{}
+	closeOnce sync.Once
+}
+
+// New creates and starts a coordinator: its RPC server and its poll loop.
+func New(cfg Config) (*Coordinator, error) {
+	cfg.sanitize()
+	c := &Coordinator{
+		cfg:          cfg,
+		table:        updown.NewTable(cfg.UpDown),
+		events:       eventlog.New(eventlog.DefaultCapacity),
+		stations:     make(map[string]*station),
+		reservations: make(map[string]reservation),
+		stop:         make(chan struct{}),
+		done:         make(chan struct{}),
+	}
+	server, err := wire.NewServer(cfg.ListenAddr, c.handlerFor)
+	if err != nil {
+		return nil, err
+	}
+	c.server = server
+	go c.pollLoop()
+	return c, nil
+}
+
+// Addr returns the coordinator's listen address.
+func (c *Coordinator) Addr() string { return c.server.Addr() }
+
+// Close stops the poll loop and the server. Safe to call multiple times.
+func (c *Coordinator) Close() {
+	c.closeOnce.Do(func() { close(c.stop) })
+	<-c.done
+	c.server.Close()
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Coordinator) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Register adds a station directly (used by in-process pools; network
+// registrations arrive via RegisterRequest).
+func (c *Coordinator) Register(name, addr string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.registerLocked(name, addr)
+}
+
+func (c *Coordinator) registerLocked(name, addr string) {
+	if _, known := c.stations[name]; !known {
+		c.events.Append(eventlog.Event{Kind: eventlog.KindRegister, Station: name, Detail: addr})
+	}
+	c.stations[name] = &station{name: name, addr: addr, reachable: true}
+	c.table.Touch(name)
+}
+
+// Events exposes the coordinator's decision history.
+func (c *Coordinator) Events() *eventlog.Log { return c.events }
+
+// Stations returns the current pool table.
+func (c *Coordinator) Stations() []proto.StationInfo {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]proto.StationInfo, 0, len(c.stations))
+	held := c.heldCountLocked()
+	now := time.Now()
+	for _, s := range c.stations {
+		info := proto.StationInfo{
+			Name:          s.name,
+			Addr:          s.addr,
+			State:         s.lastReply.State,
+			WaitingJobs:   s.lastReply.WaitingJobs,
+			RunningJobs:   held[s.name],
+			ForeignJob:    s.lastReply.ForeignJob,
+			ScheduleIndex: c.table.Index(s.name),
+			LastPoll:      s.lastPoll,
+			DiskFreeBytes: s.lastReply.DiskFreeBytes,
+		}
+		if holder := c.reservationForLocked(s.name, now); holder != "" {
+			info.ReservedFor = holder
+			info.ReservedUntil = c.reservations[s.name].until
+		}
+		out = append(out, info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// heldCountLocked counts, per home station, how many machines its jobs
+// currently occupy, from the latest poll replies.
+func (c *Coordinator) heldCountLocked() map[string]int {
+	held := make(map[string]int, len(c.stations))
+	for _, s := range c.stations {
+		if !s.reachable {
+			continue
+		}
+		if s.lastReply.ForeignOwnerStation != "" &&
+			(s.lastReply.State == proto.StationClaimed || s.lastReply.State == proto.StationSuspended) {
+			held[s.lastReply.ForeignOwnerStation]++
+		}
+	}
+	return held
+}
+
+// handlerFor serves the coordinator's RPC surface.
+func (c *Coordinator) handlerFor(peer *wire.Peer) wire.Handler {
+	return func(msg any) (any, error) {
+		switch m := msg.(type) {
+		case proto.RegisterRequest:
+			if m.Name == "" || m.Addr == "" {
+				return nil, errors.New("coordinator: register needs name and addr")
+			}
+			c.mu.Lock()
+			c.registerLocked(m.Name, m.Addr)
+			c.mu.Unlock()
+			return proto.RegisterReply{
+				OK:                 true,
+				PollIntervalMillis: c.cfg.PollInterval.Milliseconds(),
+			}, nil
+		case proto.ReserveRequest:
+			until, err := c.Reserve(m.Station, m.Holder,
+				time.Duration(m.DurationMillis)*time.Millisecond)
+			if err != nil {
+				return proto.ReserveReply{OK: false, Reason: err.Error()}, nil //nolint:nilerr // refusal is data
+			}
+			return proto.ReserveReply{OK: true, UntilUnixMillis: until.UnixMilli()}, nil
+		case proto.CancelReservationRequest:
+			return proto.CancelReservationReply{Cancelled: c.CancelReservation(m.Station)}, nil
+		case proto.HistoryRequest:
+			var events []eventlog.Event
+			if m.JobID != "" {
+				events = c.events.ForJob(m.JobID)
+			} else {
+				events = c.events.Recent(m.Limit)
+			}
+			return proto.HistoryReply{Events: events}, nil
+		case proto.PoolStatusRequest:
+			return proto.PoolStatusReply{Stations: c.Stations()}, nil
+		default:
+			return nil, fmt.Errorf("coordinator: unexpected %T", msg)
+		}
+	}
+}
+
+// pollLoop runs the allocation cycle every PollInterval.
+func (c *Coordinator) pollLoop() {
+	defer close(c.done)
+	ticker := time.NewTicker(c.cfg.PollInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-ticker.C:
+			c.Cycle()
+		}
+	}
+}
+
+// Cycle runs one poll-decide-act cycle synchronously. The loop calls it
+// on the poll interval; tests may call it directly.
+func (c *Coordinator) Cycle() {
+	c.mu.Lock()
+	c.stats.Cycles++
+	targets := make([]*station, 0, len(c.stations))
+	for _, s := range c.stations {
+		targets = append(targets, s)
+	}
+	c.mu.Unlock()
+	sort.Slice(targets, func(i, j int) bool { return targets[i].name < targets[j].name })
+
+	// Poll every station (§2.1: "every two minutes the central
+	// coordinator polls the stations").
+	type pollResult struct {
+		s     *station
+		reply proto.PollReply
+		err   error
+	}
+	results := make([]pollResult, len(targets))
+	var wg sync.WaitGroup
+	for i, s := range targets {
+		i, s := i, s
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			reply, err := c.pollStation(s.addr)
+			results[i] = pollResult{s: s, reply: reply, err: err}
+		}()
+	}
+	wg.Wait()
+
+	now := time.Now()
+	c.mu.Lock()
+	for _, r := range results {
+		if r.err != nil {
+			c.stats.PollFails++
+			r.s.failures++
+			r.s.reachable = false
+			if r.s.failures >= c.cfg.DeadAfter {
+				delete(c.stations, r.s.name)
+				c.table.Remove(r.s.name)
+				c.events.Append(eventlog.Event{
+					Kind: eventlog.KindDead, Station: r.s.name,
+					Detail: fmt.Sprintf("%d consecutive poll failures", r.s.failures),
+				})
+			}
+			continue
+		}
+		c.stats.Polls++
+		r.s.failures = 0
+		r.s.reachable = true
+		r.s.lastReply = r.reply
+		r.s.lastPoll = now
+	}
+
+	// Update Up-Down indexes from the fresh pool picture.
+	held := c.heldCountLocked()
+	views := make([]policy.StationView, 0, len(c.stations))
+	for _, s := range c.stations {
+		if !s.reachable {
+			continue
+		}
+		c.table.Update(s.name, held[s.name], s.lastReply.WaitingJobs > 0)
+		views = append(views, policy.StationView{
+			Name:         s.name,
+			State:        s.lastReply.State,
+			WaitingJobs:  s.lastReply.WaitingJobs,
+			HeldMachines: held[s.name],
+			ForeignJob:   s.lastReply.ForeignJob,
+			ForeignOwner: s.lastReply.ForeignOwnerStation,
+			DiskFree:     s.lastReply.DiskFreeBytes,
+			IdleStreak:   time.Duration(s.lastReply.IdleStreakMillis) * time.Millisecond,
+			AvgIdleLen:   time.Duration(s.lastReply.AvgIdleMillis) * time.Millisecond,
+			ReservedFor:  c.reservationForLocked(s.name, now),
+		})
+	}
+	sort.Slice(views, func(i, j int) bool { return views[i].Name < views[j].Name })
+	decision := policy.Decide(views, c.table, c.cfg.Policy)
+	addrs := make(map[string]string, len(c.stations))
+	for _, s := range c.stations {
+		addrs[s.name] = s.addr
+	}
+	c.mu.Unlock()
+
+	// Act.
+	for _, g := range decision.Grants {
+		c.bump(func(st *Stats) { st.Grants++ })
+		reply, err := c.callStation(addrs[g.Requester], proto.GrantRequest{
+			ExecName: g.Exec,
+			ExecAddr: addrs[g.Exec],
+		})
+		if err != nil {
+			continue
+		}
+		if gr, ok := reply.(proto.GrantReply); ok && gr.Used {
+			c.bump(func(st *Stats) { st.GrantsUsed++ })
+			c.events.Append(eventlog.Event{
+				Kind: eventlog.KindGrant, Job: gr.JobID, Station: g.Exec,
+				Detail: "granted to " + g.Requester,
+			})
+			// Mark the exec station claimed immediately so this cycle's
+			// state is not granted twice before the next poll.
+			c.mu.Lock()
+			if s, ok := c.stations[g.Exec]; ok {
+				s.lastReply.State = proto.StationClaimed
+				s.lastReply.ForeignJob = gr.JobID
+				s.lastReply.ForeignOwnerStation = g.Requester
+			}
+			c.mu.Unlock()
+		}
+	}
+	for _, p := range decision.Preempts {
+		c.bump(func(st *Stats) { st.Preempts++ })
+		c.events.Append(eventlog.Event{
+			Kind: eventlog.KindPreempt, Job: p.JobID, Station: p.Exec,
+			Detail: fmt.Sprintf("%s outranks %s", p.Beneficiary, p.Victim),
+		})
+		_, _ = c.callStation(addrs[p.Exec], proto.PreemptRequest{
+			JobID:  p.JobID,
+			Reason: fmt.Sprintf("up-down: %s outranks %s", p.Beneficiary, p.Victim),
+		})
+	}
+	c.enforceReservations(addrs)
+}
+
+func (c *Coordinator) bump(f func(*Stats)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	f(&c.stats)
+}
+
+func (c *Coordinator) pollStation(addr string) (proto.PollReply, error) {
+	reply, err := c.callStation(addr, proto.PollRequest{})
+	if err != nil {
+		return proto.PollReply{}, err
+	}
+	pr, ok := reply.(proto.PollReply)
+	if !ok {
+		return proto.PollReply{}, fmt.Errorf("coordinator: unexpected poll reply %T", reply)
+	}
+	return pr, nil
+}
+
+// callStation dials the station fresh for each RPC. Connection churn is
+// negligible at pool scale (the paper ran 23—40 stations) and keeps the
+// coordinator stateless across station restarts.
+func (c *Coordinator) callStation(addr string, msg any) (any, error) {
+	if addr == "" {
+		return nil, errors.New("coordinator: no address")
+	}
+	peer, err := wire.Dial(addr, c.cfg.DialTimeout, nil)
+	if err != nil {
+		return nil, err
+	}
+	defer peer.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), c.cfg.DialTimeout+10*time.Second)
+	defer cancel()
+	return peer.Call(ctx, msg)
+}
+
+// Index exposes a station's Up-Down index (for status and tests).
+func (c *Coordinator) Index(name string) float64 { return c.table.Index(name) }

@@ -1,0 +1,164 @@
+package coordinator
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"condor/internal/cvm"
+	"condor/internal/proto"
+	"condor/internal/wire"
+)
+
+func TestReserveValidation(t *testing.T) {
+	p := newPool(t, []string{"ws1", "ws2"}, Config{})
+	if _, err := p.coord.Reserve("nope", "ws1", time.Hour); err == nil {
+		t.Fatal("unknown station reserved")
+	}
+	if _, err := p.coord.Reserve("ws2", "nope", time.Hour); err == nil {
+		t.Fatal("unknown holder accepted")
+	}
+	if _, err := p.coord.Reserve("ws2", "ws1", 0); err == nil {
+		t.Fatal("zero duration accepted")
+	}
+	until, err := p.coord.Reserve("ws2", "ws1", time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if until.Before(time.Now().Add(50 * time.Minute)) {
+		t.Fatalf("until = %v", until)
+	}
+	// A different holder is refused while live; the same holder extends.
+	if _, err := p.coord.Reserve("ws2", "ws2", time.Hour); err == nil {
+		t.Fatal("conflicting reservation accepted")
+	}
+	if _, err := p.coord.Reserve("ws2", "ws1", 2*time.Hour); err != nil {
+		t.Fatalf("extension refused: %v", err)
+	}
+	if !p.coord.CancelReservation("ws2") {
+		t.Fatal("cancel reported nothing to cancel")
+	}
+	if p.coord.CancelReservation("ws2") {
+		t.Fatal("double cancel reported success")
+	}
+}
+
+func TestReservationBlocksOtherStations(t *testing.T) {
+	// ws2 is the only idle machine and is reserved for ws3; ws1's job
+	// must not be placed there, while ws3's must.
+	p := newPool(t, []string{"ws1", "ws2", "ws3"}, Config{})
+	p.monitors["ws1"].SetActive(true)
+	p.monitors["ws3"].SetActive(true)
+	if _, err := p.coord.Reserve("ws2", "ws3", time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.stations["ws1"].Submit("u1", cvm.SumProgram(10_000), 0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		p.coord.Cycle()
+		time.Sleep(2 * time.Millisecond)
+	}
+	if used := p.coord.Stats().GrantsUsed; used != 0 {
+		t.Fatalf("reserved machine granted to non-holder (%d grants)", used)
+	}
+	// The holder's job goes right through.
+	holderJob, err := p.stations["ws3"].Submit("u3", cvm.SumProgram(10_000), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.cycleUntil(t, 20*time.Second, func() bool {
+		st, err := p.stations["ws3"].Job(holderJob)
+		return err == nil && st.State == proto.JobCompleted
+	})
+	st, _ := p.stations["ws3"].Job(holderJob)
+	if st.ExecHost != "ws2" {
+		t.Fatalf("holder's job ran on %q, want the reserved ws2", st.ExecHost)
+	}
+}
+
+func TestReservationEvictsForeignJob(t *testing.T) {
+	// ws2 runs ws1's long job; then ws3 reserves ws2. The coordinator
+	// must vacate the foreign job to honour the reservation.
+	p := newPool(t, []string{"ws1", "ws2", "ws3"}, Config{})
+	p.monitors["ws1"].SetActive(true)
+	p.monitors["ws3"].SetActive(true)
+	jobID, err := p.stations["ws1"].Submit("u1", cvm.SumProgram(500_000_000), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.cycleUntil(t, 20*time.Second, func() bool {
+		st, err := p.stations["ws1"].Job(jobID)
+		return err == nil && st.State == proto.JobRunning
+	})
+	if _, err := p.coord.Reserve("ws2", "ws3", time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	p.cycleUntil(t, 20*time.Second, func() bool {
+		st, err := p.stations["ws1"].Job(jobID)
+		return err == nil && st.State == proto.JobIdle && st.Checkpoints > 0
+	})
+}
+
+func TestReservationExpires(t *testing.T) {
+	p := newPool(t, []string{"ws1", "ws2"}, Config{})
+	p.monitors["ws1"].SetActive(true)
+	if _, err := p.coord.Reserve("ws2", "ws1", 20*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(30 * time.Millisecond)
+	// Expired: another station may take it over.
+	if _, err := p.coord.Reserve("ws2", "ws2", time.Hour); err != nil {
+		t.Fatalf("expired reservation still blocking: %v", err)
+	}
+}
+
+func TestReservationOverWire(t *testing.T) {
+	p := newPool(t, []string{"ws1", "ws2"}, Config{})
+	peer, err := wire.Dial(p.coord.Addr(), time.Second, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer peer.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	reply, err := peer.Call(ctx, proto.ReserveRequest{
+		Station: "ws2", Holder: "ws1", DurationMillis: 60_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, ok := reply.(proto.ReserveReply)
+	if !ok || !rr.OK || rr.UntilUnixMillis == 0 {
+		t.Fatalf("reply = %+v", reply)
+	}
+	// Visible in the pool table.
+	found := false
+	for _, s := range p.coord.Stations() {
+		if s.Name == "ws2" && s.ReservedFor == "ws1" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("reservation not visible in pool table")
+	}
+	// Refusal path carries a reason, not an error.
+	reply, err = peer.Call(ctx, proto.ReserveRequest{
+		Station: "ws2", Holder: "ws2", DurationMillis: 60_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr := reply.(proto.ReserveReply); rr.OK || !strings.Contains(rr.Reason, "reserved") {
+		t.Fatalf("conflict reply = %+v", rr)
+	}
+	// Cancel over the wire.
+	reply, err = peer.Call(ctx, proto.CancelReservationRequest{Station: "ws2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cr := reply.(proto.CancelReservationReply); !cr.Cancelled {
+		t.Fatalf("cancel reply = %+v", cr)
+	}
+}

@@ -1,0 +1,7 @@
+package cvm
+
+import "time"
+
+// nowMillis is the SysTime answer for real hosts. MemHost stays
+// deterministic (returns 0); OSHost reports wall time.
+func nowMillis() int64 { return time.Now().UnixMilli() }

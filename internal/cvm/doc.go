@@ -1,0 +1,28 @@
+// Package cvm implements a small, deterministic, checkpointable virtual
+// machine — the substrate this reproduction uses in place of the paper's
+// native VAX/BSD process checkpointing.
+//
+// The paper defines a checkpoint as "the text, data, bss, and the stack
+// segments of the program, the registers, the status of open files, and
+// any messages sent by the program to its shadow for which a reply has not
+// been received" (§2.3). The VM is built so that exactly this state set is
+// serializable:
+//
+//   - Text: an immutable instruction slice (saved in checkpoints, as the
+//     paper chooses to do, so a recompiled executable cannot corrupt a
+//     running job).
+//   - Data + BSS: a flat word-addressed static memory region; the data
+//     prefix is initialized by the loader, the bss suffix is zeroed.
+//   - Stack: a separate word slice manipulated by PUSH/POP/CALL/RET.
+//   - Registers: 16 general registers plus PC and SP, and the local RNG
+//     state (so stochastic programs resume deterministically).
+//   - Open files: a descriptor table of (name, flags, offset) mirrored in
+//     the VM; the actual files live with the shadow process on the
+//     submitting machine and are re-opened and re-positioned on restore.
+//
+// System calls trap to a SyscallHandler supplied by the host. A remote
+// executor forwards them to the shadow; a local run handles them directly.
+// Because the handler is synchronous, the paper's rule that "checkpointing
+// is deferred until the shadow's reply has been received" holds by
+// construction: Snapshot is only callable between instructions.
+package cvm

@@ -1,0 +1,111 @@
+package cvm
+
+import "fmt"
+
+// Opcode identifies a VM instruction.
+type Opcode uint8
+
+// The instruction set. Operand conventions per opcode are documented in
+// the execution switch in vm.go; rA/rB/rC denote register indices stored
+// in the A/B/C fields, imm denotes an immediate value.
+const (
+	OpNop  Opcode = iota + 1 // no operation
+	OpHalt                   // halt with exit code imm A
+	OpMovi                   // rA = imm B
+	OpMov                    // rA = rB
+	OpLd                     // rA = mem[rB + imm C]
+	OpSt                     // mem[rA + imm C] = rB
+	OpPush                   // push rA
+	OpPop                    // rA = pop
+	OpAdd                    // rA = rB + rC
+	OpSub                    // rA = rB - rC
+	OpMul                    // rA = rB * rC
+	OpDiv                    // rA = rB / rC (fault on rC == 0)
+	OpMod                    // rA = rB % rC (fault on rC == 0)
+	OpAddi                   // rA = rB + imm C
+	OpMuli                   // rA = rB * imm C
+	OpAnd                    // rA = rB & rC
+	OpOr                     // rA = rB | rC
+	OpXor                    // rA = rB ^ rC
+	OpShl                    // rA = rB << rC
+	OpShr                    // rA = rB >> rC
+	OpJmp                    // pc = imm A
+	OpJeq                    // if rA == rB: pc = imm C
+	OpJne                    // if rA != rB: pc = imm C
+	OpJlt                    // if rA <  rB: pc = imm C
+	OpJle                    // if rA <= rB: pc = imm C
+	OpJgt                    // if rA >  rB: pc = imm C
+	OpJge                    // if rA >= rB: pc = imm C
+	OpCall                   // push pc+1; pc = imm A
+	OpRet                    // pc = pop
+	OpSys                    // syscall imm A; args r0..r3, result r0, errno r1
+	OpRand                   // rA = next local deterministic random int63
+	opMax                    // sentinel; not a real opcode
+)
+
+var opcodeNames = map[Opcode]string{
+	OpNop: "NOP", OpHalt: "HALT", OpMovi: "MOVI", OpMov: "MOV",
+	OpLd: "LD", OpSt: "ST", OpPush: "PUSH", OpPop: "POP",
+	OpAdd: "ADD", OpSub: "SUB", OpMul: "MUL", OpDiv: "DIV", OpMod: "MOD",
+	OpAddi: "ADDI", OpMuli: "MULI",
+	OpAnd: "AND", OpOr: "OR", OpXor: "XOR", OpShl: "SHL", OpShr: "SHR",
+	OpJmp: "JMP", OpJeq: "JEQ", OpJne: "JNE", OpJlt: "JLT",
+	OpJle: "JLE", OpJgt: "JGT", OpJge: "JGE",
+	OpCall: "CALL", OpRet: "RET", OpSys: "SYS", OpRand: "RAND",
+}
+
+// String returns the assembler mnemonic for the opcode.
+func (op Opcode) String() string {
+	if s, ok := opcodeNames[op]; ok {
+		return s
+	}
+	return fmt.Sprintf("OP(%d)", uint8(op))
+}
+
+// Valid reports whether op is a defined opcode.
+func (op Opcode) Valid() bool { return op >= OpNop && op < opMax }
+
+// Instr is one fixed-format instruction. The meaning of A, B, C depends
+// on the opcode (register index or immediate).
+type Instr struct {
+	Op Opcode `json:"op"`
+	A  int64  `json:"a"`
+	B  int64  `json:"b"`
+	C  int64  `json:"c"`
+}
+
+// NumRegs is the number of general-purpose registers (r0..r15).
+const NumRegs = 16
+
+// System call numbers. Arguments are passed in r0..r3; the result is
+// returned in r0 and an errno-style code in r1 (0 on success).
+const (
+	SysOpen  = 1 // open(nameAddr, nameLen, flags) -> fd
+	SysClose = 2 // close(fd)
+	SysRead  = 3 // read(fd, addr, n) -> bytes read (one byte per word)
+	SysWrite = 4 // write(fd, addr, n) -> bytes written
+	SysSeek  = 5 // seek(fd, offset, whence) -> new offset
+	SysTime  = 6 // time() -> host milliseconds
+	SysPrint = 7 // print(addr, n): write to standard output stream
+)
+
+// Open flags for SysOpen.
+const (
+	FlagRead   = 1 // open for reading
+	FlagWrite  = 2 // open for writing (created/truncated)
+	FlagAppend = 4 // open for appending
+)
+
+// Errno-style codes returned in r1 after a failed system call.
+const (
+	ErrnoNone    = 0
+	ErrnoBadFD   = 1 // file descriptor not open
+	ErrnoNoEnt   = 2 // file does not exist
+	ErrnoIO      = 3 // underlying I/O failure
+	ErrnoInval   = 4 // invalid argument
+	ErrnoTooMany = 5 // descriptor table full
+)
+
+// MaxOpenFiles bounds the per-job descriptor table, mirroring a small
+// 1980s per-process limit.
+const MaxOpenFiles = 16

@@ -1,0 +1,305 @@
+package cvm
+
+import "fmt"
+
+// This file holds the guest-program library used by examples, tests and
+// the real-daemon demos. Each constructor returns a freshly assembled
+// Program; the parameter is baked into the data segment, matching the
+// paper's observation that users "submit several occurrences of the same
+// job to the system with only different parameters to evaluate" (§4) —
+// such jobs share a text checksum and therefore a stored text segment.
+
+// printIntRoutine converts r0 (non-negative) to decimal and prints it
+// followed by a newline. Clobbers r5..r9. Requires a bss buffer "pib".
+const printIntRoutine = `
+printint:
+    MOVI r6, 0
+    MOVI r7, 10
+    MOV  r5, r0
+pi_digit:
+    MOD  r8, r5, r7
+    ADDI r8, r8, '0'
+    PUSH r8
+    ADDI r6, r6, 1
+    DIV  r5, r5, r7
+    MOVI r9, 0
+    JGT  r5, r9, pi_digit
+    MOVI r5, pib
+pi_pop:
+    POP  r8
+    ST   [r5], r8
+    ADDI r5, r5, 1
+    ADDI r6, r6, -1
+    MOVI r9, 0
+    JGT  r6, r9, pi_pop
+    MOVI r8, '\n'
+    ST   [r5], r8
+    MOVI r9, pib
+    SUB  r1, r5, r9
+    ADDI r1, r1, 1
+    MOVI r0, pib
+    SYS  print
+    RET
+`
+
+const printIntBSS = `
+pib: .space 24
+`
+
+// SumProgram sums the integers 1..n and prints the result. A compact,
+// fully deterministic CPU burner: it retires roughly 4n+30 instructions.
+func SumProgram(n int64) *Program {
+	src := fmt.Sprintf(`
+.data
+n: .word %d
+.bss
+%s
+.text
+start:
+    MOVI r0, n
+    LD   r2, [r0]      ; r2 = n
+    MOVI r1, 0         ; i
+    MOVI r3, 0         ; sum
+loop:
+    JGT  r1, r2, done
+    ADD  r3, r3, r1
+    ADDI r1, r1, 1
+    JMP  loop
+done:
+    MOV  r0, r3
+    CALL printint
+    HALT 0
+%s`, n, printIntBSS, printIntRoutine)
+	return MustAssemble(fmt.Sprintf("sum-%d", n), src)
+}
+
+// PrimeCountProgram counts primes in [2, n) by trial division and prints
+// the count. Runtime grows superlinearly in n, so it makes a good
+// long-running background job.
+func PrimeCountProgram(n int64) *Program {
+	src := fmt.Sprintf(`
+.data
+n: .word %d
+.bss
+%s
+.text
+start:
+    MOVI r0, n
+    LD   r12, [r0]     ; limit
+    MOVI r2, 2         ; candidate
+    MOVI r13, 0        ; count
+cand:
+    JGE  r2, r12, done
+    MOVI r3, 2         ; divisor
+trial:
+    MUL  r4, r3, r3
+    JGT  r4, r2, isprime
+    MOD  r5, r2, r3
+    MOVI r6, 0
+    JEQ  r5, r6, notprime
+    ADDI r3, r3, 1
+    JMP  trial
+isprime:
+    ADDI r13, r13, 1
+notprime:
+    ADDI r2, r2, 1
+    JMP  cand
+done:
+    MOV  r0, r13
+    CALL printint
+    HALT 0
+%s`, n, printIntBSS, printIntRoutine)
+	return MustAssemble(fmt.Sprintf("primes-%d", n), src)
+}
+
+// MonteCarloPiProgram estimates pi*10000 from samples random points in
+// the unit square, using the VM's checkpointed RNG — demonstrating that a
+// stochastic job resumed from a checkpoint produces the identical answer.
+func MonteCarloPiProgram(samples int64) *Program {
+	src := fmt.Sprintf(`
+.data
+n: .word %d
+.bss
+%s
+.text
+start:
+    MOVI r0, n
+    LD   r12, [r0]     ; samples
+    MOVI r2, 0         ; i
+    MOVI r13, 0        ; inside count
+    MOVI r10, 10000    ; grid scale
+draw:
+    JGE  r2, r12, done
+    RAND r3
+    MOD  r3, r3, r10   ; x in [0,10000)
+    RAND r4
+    MOD  r4, r4, r10   ; y
+    MUL  r5, r3, r3
+    MUL  r6, r4, r4
+    ADD  r5, r5, r6
+    MOVI r7, 100000000 ; 10000^2
+    JGE  r5, r7, miss
+    ADDI r13, r13, 1
+miss:
+    ADDI r2, r2, 1
+    JMP  draw
+done:
+    MOVI r8, 40000
+    MUL  r13, r13, r8
+    DIV  r13, r13, r12 ; 4*inside/samples scaled by 10000
+    MOV  r0, r13
+    CALL printint
+    HALT 0
+%s`, samples, printIntBSS, printIntRoutine)
+	return MustAssemble(fmt.Sprintf("mcpi-%d", samples), src)
+}
+
+// FileCopyProgram copies the file named in (on the submitting machine,
+// via the shadow) to the file named out, one buffer at a time. It is the
+// syscall-heavy job shape the paper warns about in §3.1: lots of remote
+// reads and writes per instruction executed.
+func FileCopyProgram(in, out string) *Program {
+	src := fmt.Sprintf(`
+.data
+inname:  .str "%s"
+outname: .str "%s"
+.bss
+buf: .space 64
+%s
+.text
+start:
+    MOVI r0, inname
+    MOVI r1, %d
+    MOVI r2, 1          ; FlagRead
+    SYS  open
+    MOVI r9, 0
+    JLT  r0, r9, fail
+    MOV  r12, r0        ; in fd
+    MOVI r0, outname
+    MOVI r1, %d
+    MOVI r2, 2          ; FlagWrite
+    SYS  open
+    JLT  r0, r9, fail
+    MOV  r13, r0        ; out fd
+copyloop:
+    MOV  r0, r12
+    MOVI r1, buf
+    MOVI r2, 64
+    SYS  read
+    JLT  r0, r9, fail
+    JEQ  r0, r9, finish ; zero bytes: EOF
+    MOV  r2, r0         ; bytes read
+    MOV  r0, r13
+    MOVI r1, buf
+    SYS  write
+    JLT  r0, r9, fail
+    JMP  copyloop
+finish:
+    MOV  r0, r12
+    SYS  close
+    MOV  r0, r13
+    SYS  close
+    HALT 0
+fail:
+    HALT 1
+%s`, in, out, printIntBSS, len(in), len(out), printIntRoutine)
+	return MustAssemble(fmt.Sprintf("copy-%s", in), src)
+}
+
+// SpinProgram burns exactly 3n+2 instructions doing nothing observable,
+// then halts. Daemon tests use it as a job whose CPU demand is precisely
+// controllable.
+func SpinProgram(n int64) *Program {
+	src := fmt.Sprintf(`
+.data
+n: .word %d
+.text
+start:
+    MOVI r0, n
+    LD   r2, [r0]
+    MOVI r1, 0
+loop:
+    JGE  r1, r2, done
+    ADDI r1, r1, 1
+    JMP  loop
+done:
+    HALT 0
+`, n)
+	return MustAssemble(fmt.Sprintf("spin-%d", n), src)
+}
+
+// ReportProgram computes the sum of 1..n and appends the result to the
+// named output file via the shadow, modelling the common "simulation
+// writes its result file at the end" job shape from the paper's §2
+// motivating workloads.
+func ReportProgram(n int64, out string) *Program {
+	src := fmt.Sprintf(`
+.data
+n:       .word %d
+outname: .str "%s"
+.bss
+%s
+.text
+start:
+    MOVI r0, n
+    LD   r2, [r0]
+    MOVI r1, 0
+    MOVI r3, 0
+loop:
+    JGT  r1, r2, write
+    ADD  r3, r3, r1
+    ADDI r1, r1, 1
+    JMP  loop
+write:
+    MOVI r0, outname
+    MOVI r1, %d
+    MOVI r2, 4          ; FlagAppend
+    SYS  open
+    MOVI r9, 0
+    JLT  r0, r9, fail
+    MOV  r12, r0
+    ; format r3 into pib via printint's digit logic, then write to file
+    MOV  r0, r3
+    CALL formatint
+    MOVI r9, 0          ; formatint clobbers r9
+    MOV  r2, r1         ; length
+    MOV  r0, r12
+    MOVI r1, pib
+    SYS  write
+    JLT  r0, r9, fail
+    MOV  r0, r12
+    SYS  close
+    HALT 0
+fail:
+    HALT 1
+
+; formatint: r0 value -> decimal+newline in pib, length in r1.
+formatint:
+    MOVI r6, 0
+    MOVI r7, 10
+    MOV  r5, r0
+fi_digit:
+    MOD  r8, r5, r7
+    ADDI r8, r8, '0'
+    PUSH r8
+    ADDI r6, r6, 1
+    DIV  r5, r5, r7
+    MOVI r9, 0
+    JGT  r5, r9, fi_digit
+    MOVI r5, pib
+fi_pop:
+    POP  r8
+    ST   [r5], r8
+    ADDI r5, r5, 1
+    ADDI r6, r6, -1
+    MOVI r9, 0
+    JGT  r6, r9, fi_pop
+    MOVI r8, '\n'
+    ST   [r5], r8
+    MOVI r9, pib
+    SUB  r1, r5, r9
+    ADDI r1, r1, 1
+    RET
+`, n, out, printIntBSS, len(out))
+	return MustAssemble(fmt.Sprintf("report-%d", n), src)
+}

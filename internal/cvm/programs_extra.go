@@ -1,0 +1,269 @@
+package cvm
+
+import "fmt"
+
+// This file extends the guest-program library with heavier numerical
+// kernels: the "studies of load-balancing algorithms … simulation of
+// real-time scheduling algorithms … mathematical combinatorial problems"
+// (§2) that motivated Condor were exactly this shape of code.
+
+// MatMulProgram multiplies two n×n matrices (A[i][j]=i+j, B[i][j]=i-j)
+// and prints the trace of the product. Cubic work in n; exercises
+// register-indexed addressing hard.
+func MatMulProgram(n int64) *Program {
+	src := fmt.Sprintf(`
+.data
+n: .word %d
+.bss
+a:   .space %d
+b:   .space %d
+c:   .space %d
+%s
+.text
+start:
+    MOVI r0, n
+    LD   r12, [r0]     ; n
+    ; fill A and B
+    MOVI r1, 0         ; i
+fill_i:
+    JGE  r1, r12, mul_setup
+    MOVI r2, 0         ; j
+fill_j:
+    JGE  r2, r12, fill_next_i
+    MUL  r3, r1, r12
+    ADD  r3, r3, r2    ; idx = i*n+j
+    ADD  r4, r1, r2    ; i+j
+    MOVI r5, a
+    ADD  r5, r5, r3
+    ST   [r5], r4
+    SUB  r4, r1, r2    ; i-j
+    MOVI r5, b
+    ADD  r5, r5, r3
+    ST   [r5], r4
+    ADDI r2, r2, 1
+    JMP  fill_j
+fill_next_i:
+    ADDI r1, r1, 1
+    JMP  fill_i
+
+mul_setup:
+    MOVI r1, 0         ; i
+mul_i:
+    JGE  r1, r12, trace
+    MOVI r2, 0         ; j
+mul_j:
+    JGE  r2, r12, mul_next_i
+    MOVI r6, 0         ; acc
+    MOVI r3, 0         ; k
+mul_k:
+    JGE  r3, r12, mul_store
+    MUL  r4, r1, r12
+    ADD  r4, r4, r3    ; a idx = i*n+k
+    MOVI r5, a
+    ADD  r5, r5, r4
+    LD   r7, [r5]
+    MUL  r4, r3, r12
+    ADD  r4, r4, r2    ; b idx = k*n+j
+    MOVI r5, b
+    ADD  r5, r5, r4
+    LD   r8, [r5]
+    MUL  r7, r7, r8
+    ADD  r6, r6, r7
+    ADDI r3, r3, 1
+    JMP  mul_k
+mul_store:
+    MUL  r4, r1, r12
+    ADD  r4, r4, r2
+    MOVI r5, c
+    ADD  r5, r5, r4
+    ST   [r5], r6
+    ADDI r2, r2, 1
+    JMP  mul_j
+mul_next_i:
+    ADDI r1, r1, 1
+    JMP  mul_i
+
+trace:
+    MOVI r1, 0
+    MOVI r6, 0         ; trace acc
+trace_loop:
+    JGE  r1, r12, report
+    MUL  r4, r1, r12
+    ADD  r4, r4, r1    ; c[i][i]
+    MOVI r5, c
+    ADD  r5, r5, r4
+    LD   r7, [r5]
+    ADD  r6, r6, r7
+    ADDI r1, r1, 1
+    JMP  trace_loop
+report:
+    ; trace of (i+j)(i-j) products can be negative; print |trace|
+    MOVI r9, 0
+    JGE  r6, r9, positive
+    MOVI r8, -1
+    MUL  r6, r6, r8
+positive:
+    MOV  r0, r6
+    CALL printint
+    HALT 0
+%s`, n, n*n, n*n, n*n, printIntBSS, printIntRoutine)
+	return MustAssemble(fmt.Sprintf("matmul-%d", n), src)
+}
+
+// CollatzProgram finds the longest Collatz (3n+1) trajectory for
+// starting values in [1, n] and prints its length — a classic
+// departmental background job: tiny state, unpredictable runtime.
+func CollatzProgram(n int64) *Program {
+	src := fmt.Sprintf(`
+.data
+n: .word %d
+.bss
+%s
+.text
+start:
+    MOVI r0, n
+    LD   r12, [r0]     ; limit
+    MOVI r2, 1         ; start value
+    MOVI r13, 0        ; best length
+outer:
+    JGT  r2, r12, done
+    MOV  r3, r2        ; x
+    MOVI r4, 0         ; length
+step:
+    MOVI r5, 1
+    JEQ  r3, r5, check
+    MOVI r6, 2
+    MOD  r7, r3, r6
+    MOVI r8, 0
+    JEQ  r7, r8, even
+    MULI r3, r3, 3
+    ADDI r3, r3, 1
+    JMP  bump
+even:
+    DIV  r3, r3, r6
+bump:
+    ADDI r4, r4, 1
+    JMP  step
+check:
+    JLE  r4, r13, next
+    MOV  r13, r4
+next:
+    ADDI r2, r2, 1
+    JMP  outer
+done:
+    MOV  r0, r13
+    CALL printint
+    HALT 0
+%s`, n, printIntBSS, printIntRoutine)
+	return MustAssemble(fmt.Sprintf("collatz-%d", n), src)
+}
+
+// RandomSearchProgram runs a random search for the maximum of the
+// integer function f(x) = -(x-target)² + target² over [0, space) using
+// rounds random probes. It leans on the checkpointed RNG, so a migrated
+// run must report the identical best value.
+func RandomSearchProgram(rounds, space, target int64) *Program {
+	src := fmt.Sprintf(`
+.data
+rounds: .word %d
+space:  .word %d
+target: .word %d
+.bss
+%s
+.text
+start:
+    MOVI r0, rounds
+    LD   r12, [r0]
+    MOVI r0, space
+    LD   r11, [r0]
+    MOVI r0, target
+    LD   r10, [r0]
+    MOVI r2, 0           ; i
+    MOVI r13, -4611686018427387904 ; best so far (very small)
+probe:
+    JGE  r2, r12, done
+    RAND r3
+    MOD  r3, r3, r11     ; x in [0, space)
+    SUB  r4, r3, r10     ; x - target
+    MUL  r4, r4, r4      ; (x-target)^2
+    MUL  r5, r10, r10    ; target^2
+    SUB  r5, r5, r4      ; f(x)
+    JLE  r5, r13, skip
+    MOV  r13, r5
+skip:
+    ADDI r2, r2, 1
+    JMP  probe
+done:
+    MOV  r0, r13
+    CALL printint
+    HALT 0
+%s`, rounds, space, target, printIntBSS, printIntRoutine)
+	return MustAssemble(fmt.Sprintf("randsearch-%d", rounds), src)
+}
+
+// WordCountProgram reads the named input file through the shadow and
+// prints its whitespace-separated word count — a syscall-per-buffer job
+// shape sitting between the pure CPU burners and FileCopyProgram.
+func WordCountProgram(in string) *Program {
+	src := fmt.Sprintf(`
+.data
+inname: .str "%s"
+.bss
+buf: .space 64
+%s
+.text
+start:
+    MOVI r0, inname
+    MOVI r1, %d
+    MOVI r2, 1          ; FlagRead
+    SYS  open
+    MOVI r9, 0
+    JLT  r0, r9, fail
+    MOV  r12, r0        ; fd
+    MOVI r13, 0         ; word count
+    MOVI r14, 0         ; in-word flag
+readloop:
+    MOV  r0, r12
+    MOVI r1, buf
+    MOVI r2, 64
+    SYS  read
+    JLT  r0, r9, fail
+    JEQ  r0, r9, finish ; EOF
+    MOV  r3, r0         ; bytes read
+    MOVI r4, 0          ; i
+scan:
+    JGE  r4, r3, readloop
+    MOVI r5, buf
+    ADD  r5, r5, r4
+    LD   r6, [r5]       ; byte
+    ; whitespace? space, \n, \t, \r
+    MOVI r7, ' '
+    JEQ  r6, r7, ws
+    MOVI r7, '\n'
+    JEQ  r6, r7, ws
+    MOVI r7, '\t'
+    JEQ  r6, r7, ws
+    MOVI r7, 13
+    JEQ  r6, r7, ws
+    ; non-whitespace: count a word on the 0->1 transition
+    MOVI r7, 1
+    JEQ  r14, r7, nextc
+    MOVI r14, 1
+    ADDI r13, r13, 1
+    JMP  nextc
+ws:
+    MOVI r14, 0
+nextc:
+    ADDI r4, r4, 1
+    JMP  scan
+finish:
+    MOV  r0, r12
+    SYS  close
+    MOV  r0, r13
+    CALL printint
+    HALT 0
+fail:
+    HALT 1
+%s`, in, printIntBSS, len(in), printIntRoutine)
+	return MustAssemble(fmt.Sprintf("wc-%s", in), src)
+}

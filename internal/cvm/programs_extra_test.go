@@ -1,0 +1,176 @@
+package cvm
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func runProgram(t *testing.T, p *Program) string {
+	t.Helper()
+	host := NewMemHost()
+	v, err := New(p, host, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, err := v.Run(500_000_000); st != StatusHalted || err != nil {
+		t.Fatalf("st %v err %v fault %v", st, err, v.Fault())
+	}
+	return strings.TrimSpace(host.Stdout())
+}
+
+// goMatTrace computes |trace(A·B)| with A[i][j]=i+j, B[i][j]=i-j.
+func goMatTrace(n int64) int64 {
+	trace := int64(0)
+	for i := int64(0); i < n; i++ {
+		for k := int64(0); k < n; k++ {
+			trace += (i + k) * (k - i)
+		}
+	}
+	if trace < 0 {
+		trace = -trace
+	}
+	return trace
+}
+
+func TestMatMulProgramMatchesGo(t *testing.T) {
+	for _, n := range []int64{1, 2, 3, 5, 8} {
+		got := runProgram(t, MatMulProgram(n))
+		want := strconv.FormatInt(goMatTrace(n), 10)
+		if got != want {
+			t.Fatalf("n=%d: trace = %s, want %s", n, got, want)
+		}
+	}
+}
+
+// goCollatzBest mirrors the guest program.
+func goCollatzBest(n int64) int64 {
+	best := int64(0)
+	for start := int64(1); start <= n; start++ {
+		x, length := start, int64(0)
+		for x != 1 {
+			if x%2 == 0 {
+				x /= 2
+			} else {
+				x = 3*x + 1
+			}
+			length++
+		}
+		if length > best {
+			best = length
+		}
+	}
+	return best
+}
+
+func TestCollatzProgramMatchesGo(t *testing.T) {
+	for _, n := range []int64{1, 6, 27, 100} {
+		got := runProgram(t, CollatzProgram(n))
+		want := strconv.FormatInt(goCollatzBest(n), 10)
+		if got != want {
+			t.Fatalf("n=%d: longest = %s, want %s", n, got, want)
+		}
+	}
+}
+
+func TestRandomSearchDeterministicAndBounded(t *testing.T) {
+	p := func() *Program { return RandomSearchProgram(5000, 1000, 700) }
+	a := runProgram(t, p())
+	b := runProgram(t, p())
+	if a != b {
+		t.Fatalf("two runs differ: %s vs %s", a, b)
+	}
+	best, err := strconv.ParseInt(a, 10, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Max of f is target² = 490000 at x=target; with 5000 probes over
+	// 1000 points the best must be positive and ≤ the max.
+	if best <= 0 || best > 700*700 {
+		t.Fatalf("best = %d outside (0, %d]", best, 700*700)
+	}
+}
+
+func TestRandomSearchSurvivesMigration(t *testing.T) {
+	// The random search's answer depends entirely on the RNG sequence —
+	// migrating mid-run must not change it.
+	want := runProgram(t, RandomSearchProgram(20_000, 5000, 3000))
+
+	host := NewMemHost()
+	v, err := New(RandomSearchProgram(20_000, 5000, 3000), host, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for hop := 0; ; hop++ {
+		st, err := v.Run(30_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st == StatusHalted {
+			break
+		}
+		restored, err := Restore(v.Snapshot(), host)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v = restored
+		if hop > 1000 {
+			t.Fatal("never finished")
+		}
+	}
+	if got := strings.TrimSpace(host.Stdout()); got != want {
+		t.Fatalf("migrated answer %s != uninterrupted %s", got, want)
+	}
+}
+
+func TestWordCountProgram(t *testing.T) {
+	cases := map[string]string{
+		"":                           "0",
+		"one":                        "1",
+		"  leading and   trailing  ": "3",
+		"a\nb\tc d\r\ne":             "5",
+		strings.Repeat("word ", 100): "100",
+	}
+	for input, want := range cases {
+		host := NewMemHost()
+		host.SetFile("in", []byte(input))
+		v, err := New(WordCountProgram("in"), host, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st, err := v.Run(10_000_000); st != StatusHalted || err != nil {
+			t.Fatalf("st %v err %v fault %v", st, err, v.Fault())
+		}
+		if got := strings.TrimSpace(host.Stdout()); got != want {
+			t.Fatalf("wc(%q) = %s, want %s", truncate(input), got, want)
+		}
+	}
+}
+
+func TestWordCountSurvivesMigration(t *testing.T) {
+	host := NewMemHost()
+	host.SetFile("in", []byte(strings.Repeat("alpha beta gamma\n", 40)))
+	v, err := New(WordCountProgram("in"), host, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for hops := 0; ; hops++ {
+		st, err := v.Run(500)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st == StatusHalted {
+			break
+		}
+		v, err = Restore(v.Snapshot(), host)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hops > 10_000 {
+			t.Fatal("never finished")
+		}
+	}
+	if got := strings.TrimSpace(host.Stdout()); got != "120" {
+		t.Fatalf("migrated wc = %q, want 120", got)
+	}
+}

@@ -1,0 +1,135 @@
+// Package eventlog provides the bounded, in-memory event history every
+// Condor daemon keeps: the submit/place/suspend/vacate/complete trail of
+// each job and the grant/preempt/reservation decisions of the
+// coordinator. Operators read it with cmd/condor-history; tests use it
+// to assert causal sequences without scraping logs.
+package eventlog
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Kind classifies an event.
+type Kind string
+
+// Event kinds. Station-side kinds describe one job's lifecycle;
+// coordinator-side kinds describe allocation decisions.
+const (
+	KindSubmit     Kind = "submit"
+	KindPlace      Kind = "place"
+	KindSuspend    Kind = "suspend"
+	KindResume     Kind = "resume"
+	KindVacate     Kind = "vacate"
+	KindCheckpoint Kind = "checkpoint"
+	KindComplete   Kind = "complete"
+	KindFault      Kind = "fault"
+	KindLost       Kind = "lost"
+	KindRemove     Kind = "remove"
+
+	KindRegister Kind = "register"
+	KindGrant    Kind = "grant"
+	KindPreempt  Kind = "preempt"
+	KindReserve  Kind = "reserve"
+	KindDead     Kind = "station-dead"
+)
+
+// Event is one log entry.
+type Event struct {
+	At      time.Time `json:"at"`
+	Kind    Kind      `json:"kind"`
+	Job     string    `json:"job,omitempty"`
+	Station string    `json:"station,omitempty"`
+	Detail  string    `json:"detail,omitempty"`
+}
+
+// String renders the event as one line.
+func (e Event) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %-11s", e.At.Format("15:04:05.000"), e.Kind)
+	if e.Job != "" {
+		fmt.Fprintf(&b, " job=%s", e.Job)
+	}
+	if e.Station != "" {
+		fmt.Fprintf(&b, " station=%s", e.Station)
+	}
+	if e.Detail != "" {
+		fmt.Fprintf(&b, " (%s)", e.Detail)
+	}
+	return b.String()
+}
+
+// Log is a fixed-capacity ring of events. The zero value is unusable;
+// call New. Log is safe for concurrent use.
+type Log struct {
+	mu    sync.Mutex
+	buf   []Event
+	next  int
+	total uint64
+}
+
+// DefaultCapacity is the ring size daemons use.
+const DefaultCapacity = 1024
+
+// New returns a log holding the most recent capacity events (≤0 selects
+// DefaultCapacity).
+func New(capacity int) *Log {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Log{buf: make([]Event, 0, capacity)}
+}
+
+// Append records an event, stamping it with the current time if unset.
+func (l *Log) Append(e Event) {
+	if e.At.IsZero() {
+		e.At = time.Now()
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.total++
+	if len(l.buf) < cap(l.buf) {
+		l.buf = append(l.buf, e)
+		return
+	}
+	l.buf[l.next] = e
+	l.next = (l.next + 1) % cap(l.buf)
+}
+
+// Recent returns up to n of the most recent events, oldest first. n <= 0
+// returns everything retained.
+func (l *Log) Recent(n int) []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	ordered := make([]Event, 0, len(l.buf))
+	if len(l.buf) < cap(l.buf) {
+		ordered = append(ordered, l.buf...)
+	} else {
+		ordered = append(ordered, l.buf[l.next:]...)
+		ordered = append(ordered, l.buf[:l.next]...)
+	}
+	if n > 0 && len(ordered) > n {
+		ordered = ordered[len(ordered)-n:]
+	}
+	return ordered
+}
+
+// Total returns the number of events ever appended (including evicted).
+func (l *Log) Total() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total
+}
+
+// ForJob returns the retained events for one job, oldest first.
+func (l *Log) ForJob(jobID string) []Event {
+	var out []Event
+	for _, e := range l.Recent(0) {
+		if e.Job == jobID {
+			out = append(out, e)
+		}
+	}
+	return out
+}

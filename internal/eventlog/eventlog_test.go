@@ -1,0 +1,122 @@
+package eventlog
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestAppendAndRecent(t *testing.T) {
+	l := New(8)
+	for i := 0; i < 5; i++ {
+		l.Append(Event{Kind: KindSubmit, Job: fmt.Sprintf("j%d", i)})
+	}
+	got := l.Recent(0)
+	if len(got) != 5 {
+		t.Fatalf("recent = %d events", len(got))
+	}
+	for i, e := range got {
+		if e.Job != fmt.Sprintf("j%d", i) {
+			t.Fatalf("order broken at %d: %+v", i, e)
+		}
+		if e.At.IsZero() {
+			t.Fatal("timestamp not stamped")
+		}
+	}
+	if l.Total() != 5 {
+		t.Fatalf("total = %d", l.Total())
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	l := New(4)
+	for i := 0; i < 10; i++ {
+		l.Append(Event{Kind: KindPlace, Job: fmt.Sprintf("j%d", i)})
+	}
+	got := l.Recent(0)
+	if len(got) != 4 {
+		t.Fatalf("retained = %d, want 4", len(got))
+	}
+	if got[0].Job != "j6" || got[3].Job != "j9" {
+		t.Fatalf("ring order = %v", got)
+	}
+	if l.Total() != 10 {
+		t.Fatalf("total = %d, want 10", l.Total())
+	}
+}
+
+func TestRecentLimit(t *testing.T) {
+	l := New(16)
+	for i := 0; i < 10; i++ {
+		l.Append(Event{Kind: KindGrant, Station: fmt.Sprintf("ws%d", i)})
+	}
+	got := l.Recent(3)
+	if len(got) != 3 || got[2].Station != "ws9" {
+		t.Fatalf("recent(3) = %v", got)
+	}
+}
+
+func TestForJob(t *testing.T) {
+	l := New(16)
+	l.Append(Event{Kind: KindSubmit, Job: "a"})
+	l.Append(Event{Kind: KindSubmit, Job: "b"})
+	l.Append(Event{Kind: KindPlace, Job: "a", Station: "ws2"})
+	l.Append(Event{Kind: KindComplete, Job: "a"})
+	trail := l.ForJob("a")
+	if len(trail) != 3 {
+		t.Fatalf("trail = %v", trail)
+	}
+	if trail[0].Kind != KindSubmit || trail[2].Kind != KindComplete {
+		t.Fatalf("trail order = %v", trail)
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{
+		At:      time.Date(1987, 11, 2, 14, 30, 5, 0, time.UTC),
+		Kind:    KindVacate,
+		Job:     "ws1/3",
+		Station: "ws7",
+		Detail:  "owner returned",
+	}
+	s := e.String()
+	for _, want := range []string{"14:30:05", "vacate", "job=ws1/3", "station=ws7", "owner returned"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("%q missing %q", s, want)
+		}
+	}
+}
+
+func TestConcurrentAppend(t *testing.T) {
+	l := New(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				l.Append(Event{Kind: KindPoll()})
+			}
+		}()
+	}
+	wg.Wait()
+	if l.Total() != 800 {
+		t.Fatalf("total = %d", l.Total())
+	}
+	if len(l.Recent(0)) != 64 {
+		t.Fatalf("retained = %d", len(l.Recent(0)))
+	}
+}
+
+// KindPoll exists only for the concurrency test.
+func KindPoll() Kind { return Kind("poll") }
+
+func TestZeroCapacityDefaults(t *testing.T) {
+	l := New(0)
+	l.Append(Event{Kind: KindSubmit})
+	if len(l.Recent(0)) != 1 {
+		t.Fatal("default capacity log broken")
+	}
+}

@@ -1,0 +1,60 @@
+package machine
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// LoadAvgSampler reads owner activity from the host's 1-minute load
+// average (Linux /proc/loadavg), normalized by CPU count — the closest
+// stdlib-only analogue to the paper's "CPU consumption by other users"
+// signal. Keyboard/mouse idle time is not portably observable, so the
+// sampler reports a large SinceLastInput and activity detection rests on
+// the CPU threshold alone.
+//
+// On systems without /proc/loadavg the sampler reports zero load (always
+// idle); deployments there should use the marker-file monitor instead.
+type LoadAvgSampler struct {
+	// Path is the loadavg file (default /proc/loadavg).
+	Path string
+	// CPUs normalizes the load (default runtime.NumCPU()).
+	CPUs int
+}
+
+// Sample implements the sampling function for NewThresholdMonitor.
+func (l LoadAvgSampler) Sample() Sample {
+	path := l.Path
+	if path == "" {
+		path = "/proc/loadavg"
+	}
+	cpus := l.CPUs
+	if cpus <= 0 {
+		cpus = runtime.NumCPU()
+	}
+	s := Sample{SinceLastInput: 24 * time.Hour}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return s
+	}
+	fields := strings.Fields(string(data))
+	if len(fields) == 0 {
+		return s
+	}
+	load, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return s
+	}
+	s.CPUBusyFraction = load / float64(cpus)
+	return s
+}
+
+// NewLoadAvgMonitor builds a threshold monitor over the host load
+// average: the owner counts as active while normalized load exceeds
+// cfg.MaxCPUBusy.
+func NewLoadAvgMonitor(cfg ThresholdConfig) *ThresholdMonitor {
+	sampler := LoadAvgSampler{}
+	return NewThresholdMonitor(sampler.Sample, cfg)
+}

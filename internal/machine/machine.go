@@ -1,0 +1,184 @@
+// Package machine models a workstation from the local scheduler's point
+// of view: is the owner active, how long has the station been idle, and
+// what does its availability history look like.
+//
+// The paper's local scheduler checks every ½ minute whether the owner
+// has resumed using the station (§2.1). What "resumed" means is a
+// machine-local detail — keyboard input, load average — so it is
+// abstracted behind Monitor. Production deployments use a
+// ThresholdMonitor over host samples; tests and the simulator drive a
+// ScriptedMonitor.
+package machine
+
+import (
+	"sync"
+	"time"
+
+	"condor/internal/sim"
+)
+
+// Monitor reports whether the workstation's owner is currently active.
+// Implementations must be safe for concurrent use.
+type Monitor interface {
+	OwnerActive() bool
+}
+
+// ScriptedMonitor is a Monitor whose state is set explicitly. The
+// in-process cluster and all tests use it to script owner behaviour.
+type ScriptedMonitor struct {
+	mu     sync.Mutex
+	active bool
+}
+
+var _ Monitor = (*ScriptedMonitor)(nil)
+
+// NewScriptedMonitor returns a monitor in the given initial state.
+func NewScriptedMonitor(active bool) *ScriptedMonitor {
+	return &ScriptedMonitor{active: active}
+}
+
+// OwnerActive implements Monitor.
+func (m *ScriptedMonitor) OwnerActive() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.active
+}
+
+// SetActive flips the owner state.
+func (m *ScriptedMonitor) SetActive(active bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.active = active
+}
+
+// Sample is one observation of host activity.
+type Sample struct {
+	// CPUBusyFraction is non-Condor CPU utilization in [0, 1].
+	CPUBusyFraction float64
+	// SinceLastInput is the time since the last keyboard/mouse input.
+	SinceLastInput time.Duration
+}
+
+// ThresholdConfig tunes a ThresholdMonitor.
+type ThresholdConfig struct {
+	// MaxCPUBusy is the CPU fraction above which the owner counts as
+	// active (default 0.25).
+	MaxCPUBusy float64
+	// MinInputIdle is how long input must have been quiet for the
+	// station to count as idle (default 5 minutes, a common Condor
+	// setting).
+	MinInputIdle time.Duration
+}
+
+// DefaultThresholdConfig returns conventional thresholds.
+func DefaultThresholdConfig() ThresholdConfig {
+	return ThresholdConfig{MaxCPUBusy: 0.25, MinInputIdle: 5 * time.Minute}
+}
+
+// ThresholdMonitor derives owner activity from host samples.
+type ThresholdMonitor struct {
+	sampler func() Sample
+	cfg     ThresholdConfig
+}
+
+var _ Monitor = (*ThresholdMonitor)(nil)
+
+// NewThresholdMonitor wraps sampler with the given thresholds. Zero
+// config fields take defaults.
+func NewThresholdMonitor(sampler func() Sample, cfg ThresholdConfig) *ThresholdMonitor {
+	def := DefaultThresholdConfig()
+	if cfg.MaxCPUBusy <= 0 {
+		cfg.MaxCPUBusy = def.MaxCPUBusy
+	}
+	if cfg.MinInputIdle <= 0 {
+		cfg.MinInputIdle = def.MinInputIdle
+	}
+	return &ThresholdMonitor{sampler: sampler, cfg: cfg}
+}
+
+// OwnerActive implements Monitor.
+func (m *ThresholdMonitor) OwnerActive() bool {
+	s := m.sampler()
+	if s.CPUBusyFraction > m.cfg.MaxCPUBusy {
+		return true
+	}
+	return s.SinceLastInput < m.cfg.MinInputIdle
+}
+
+// Tracker accumulates a station's availability history from periodic
+// observations: the current idle streak and the historic mean idle
+// interval, which feed the §5.1 history-based placement strategy.
+// Tracker is safe for concurrent use.
+type Tracker struct {
+	mu sync.Mutex
+
+	clock sim.Clock
+
+	idle      bool
+	idleSince time.Time
+	// completed idle intervals
+	intervals int
+	totalIdle time.Duration
+	observed  bool
+}
+
+// NewTracker returns a tracker reading time from clock.
+func NewTracker(clock sim.Clock) *Tracker {
+	return &Tracker{clock: clock}
+}
+
+// Observe records the station's current idleness. Call it from the local
+// scheduler's periodic scan.
+func (t *Tracker) Observe(idle bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := t.clock.Now()
+	if !t.observed {
+		t.observed = true
+		t.idle = idle
+		if idle {
+			t.idleSince = now
+		}
+		return
+	}
+	if idle == t.idle {
+		return
+	}
+	if t.idle {
+		// Idle interval ended.
+		t.intervals++
+		t.totalIdle += now.Sub(t.idleSince)
+	} else {
+		t.idleSince = now
+	}
+	t.idle = idle
+}
+
+// IdleStreak returns how long the station has currently been idle (zero
+// if the owner is active).
+func (t *Tracker) IdleStreak() time.Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.observed || !t.idle {
+		return 0
+	}
+	return t.clock.Now().Sub(t.idleSince)
+}
+
+// AvgIdleLen returns the mean length of completed idle intervals (zero
+// until one completes).
+func (t *Tracker) AvgIdleLen() time.Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.intervals == 0 {
+		return 0
+	}
+	return t.totalIdle / time.Duration(t.intervals)
+}
+
+// Intervals returns the number of completed idle intervals.
+func (t *Tracker) Intervals() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.intervals
+}

@@ -1,0 +1,340 @@
+// Package policy holds Condor's capacity-allocation logic as pure
+// functions over snapshots of pool state. Both the real coordinator
+// daemon and the month-scale simulator call Decide, so the experiments
+// measure exactly the code that runs in production — only the substrate
+// differs.
+//
+// One decision cycle corresponds to one coordinator poll (every 2 minutes
+// in the paper). Per cycle the coordinator:
+//
+//  1. Ranks the stations that have background jobs waiting (the
+//     Prioritizer — Up-Down in production, FIFO in the ablation).
+//  2. Grants idle machines (with sufficient disk, §4) to requesters in
+//     priority order, capped by MaxGrantsPerCycle — the paper places a
+//     single job every two minutes to spread placement cost (§4).
+//  3. If demand remains and no idle machine exists, preempts the foreign
+//     job of the lowest-priority holder that the best unserved requester
+//     strictly outranks (§2.4).
+package policy
+
+import (
+	"sort"
+	"time"
+
+	"condor/internal/proto"
+)
+
+// StationView is the per-station state a decision cycle sees.
+type StationView struct {
+	Name  string
+	State proto.StationState
+	// WaitingJobs counts queued jobs wanting remote capacity.
+	WaitingJobs int
+	// HeldMachines is how many machines this station's jobs occupy now.
+	HeldMachines int
+	// ForeignJob/ForeignOwner describe the foreign job running here.
+	ForeignJob   string
+	ForeignOwner string
+	// DiskFree is free checkpoint/executable space on this station.
+	DiskFree int64
+	// IdleStreak is how long the station has currently been idle.
+	IdleStreak time.Duration
+	// AvgIdleLen is the station's historic mean idle-interval length,
+	// used by the availability-history placement strategy (§5.1).
+	AvgIdleLen time.Duration
+	// ReservedFor, when non-empty, restricts grants of this machine to
+	// the named station (§5.3 reservations).
+	ReservedFor string
+}
+
+// Prioritizer orders stations for capacity allocation.
+type Prioritizer interface {
+	// Rank returns names sorted best-first.
+	Rank(names []string) []string
+	// Better reports whether a strictly outranks b.
+	Better(a, b string) bool
+}
+
+// PlacementStrategy selects which idle machine to hand out first.
+type PlacementStrategy int
+
+// Placement strategies.
+const (
+	// PlaceFirstFit grants idle machines in stable name order.
+	PlaceFirstFit PlacementStrategy = iota + 1
+	// PlaceHistory prefers machines with long availability history —
+	// the §5.1 proposal: stations with long past idle intervals tend to
+	// stay idle, so long jobs suffer fewer preemptions there.
+	PlaceHistory
+)
+
+// Config tunes a decision cycle.
+type Config struct {
+	// MaxGrantsPerCycle caps placements per cycle (default 1, per §4).
+	MaxGrantsPerCycle int
+	// MaxPreemptsPerCycle caps preemptions per cycle (default 1).
+	MaxPreemptsPerCycle int
+	// MinDiskBytes disqualifies execution sites with less free space.
+	MinDiskBytes int64
+	// Placement selects the idle-machine ordering.
+	Placement PlacementStrategy
+	// AllowBurstPerStation lifts the one-grant-per-requester-per-cycle
+	// rule, letting one station place several jobs in the same cycle —
+	// the behaviour §4 warns about ("the performance of the local
+	// machine is severely degraded if all jobs are placed at the same
+	// time"). Exists for the A2 ablation.
+	AllowBurstPerStation bool
+}
+
+// DefaultConfig returns the paper's operating point.
+func DefaultConfig() Config {
+	return Config{
+		MaxGrantsPerCycle:   1,
+		MaxPreemptsPerCycle: 1,
+		MinDiskBytes:        0,
+		Placement:           PlaceFirstFit,
+	}
+}
+
+func (c *Config) sanitize() {
+	if c.MaxGrantsPerCycle <= 0 {
+		c.MaxGrantsPerCycle = 1
+	}
+	if c.MaxPreemptsPerCycle < 0 {
+		c.MaxPreemptsPerCycle = 0
+	}
+	if c.Placement == 0 {
+		c.Placement = PlaceFirstFit
+	}
+}
+
+// Grant assigns the named idle machine to the requesting station.
+type Grant struct {
+	Requester string
+	Exec      string
+}
+
+// Preempt orders the foreign job on Exec vacated so Beneficiary can be
+// served on a later cycle (once the checkpoint completes).
+type Preempt struct {
+	Exec        string
+	JobID       string
+	Victim      string // the job's home station
+	Beneficiary string
+}
+
+// Decision is one cycle's actions.
+type Decision struct {
+	Grants   []Grant
+	Preempts []Preempt
+}
+
+// Decide computes one allocation cycle. It never mutates its inputs.
+func Decide(stations []StationView, prio Prioritizer, cfg Config) Decision {
+	cfg.sanitize()
+	byName := make(map[string]StationView, len(stations))
+	for _, s := range stations {
+		byName[s.Name] = s
+	}
+
+	// Requesters, best priority first. Stations keep wanting capacity
+	// for every waiting job, but receive at most one grant per cycle:
+	// placement costs land on the requester's machine (§4), so pacing is
+	// per-station as well as global.
+	var wanting []string
+	for _, s := range stations {
+		if s.WaitingJobs > 0 {
+			wanting = append(wanting, s.Name)
+		}
+	}
+	sort.Strings(wanting) // deterministic base order before ranking
+	requesters := prio.Rank(wanting)
+
+	idle := idleMachines(stations, cfg)
+
+	var d Decision
+	granted := make(map[string]bool, len(requesters))
+	waitingLeft := make(map[string]int, len(stations))
+	for _, s := range stations {
+		waitingLeft[s.Name] = s.WaitingJobs
+	}
+	// With bursting allowed, keep cycling through the ranked requesters
+	// until grants or machines run out.
+	for pass := 0; ; pass++ {
+		grantedThisPass := false
+		for _, req := range requesters {
+			if len(d.Grants) >= cfg.MaxGrantsPerCycle || len(idle) == 0 {
+				break
+			}
+			if granted[req] && !cfg.AllowBurstPerStation {
+				continue
+			}
+			if waitingLeft[req] <= 0 {
+				continue
+			}
+			pick := -1
+			for i, exec := range idle {
+				reserved := byName[exec].ReservedFor
+				if reserved == "" || reserved == req {
+					pick = i
+					break
+				}
+			}
+			if pick < 0 {
+				continue
+			}
+			exec := idle[pick]
+			idle = append(idle[:pick], idle[pick+1:]...)
+			granted[req] = true
+			waitingLeft[req]--
+			grantedThisPass = true
+			d.Grants = append(d.Grants, Grant{Requester: req, Exec: exec})
+		}
+		if !cfg.AllowBurstPerStation || !grantedThisPass ||
+			len(d.Grants) >= cfg.MaxGrantsPerCycle || len(idle) == 0 {
+			break
+		}
+	}
+	// Preemption: only when an unserved requester exists and there is no
+	// generally-usable idle capacity left (machines reserved for someone
+	// else do not count — they are spoken for, §5.3).
+	unreservedIdle := 0
+	for _, exec := range idle {
+		if byName[exec].ReservedFor == "" {
+			unreservedIdle++
+		}
+	}
+	if unreservedIdle > 0 || cfg.MaxPreemptsPerCycle == 0 {
+		return d
+	}
+	for _, req := range requesters {
+		if len(d.Preempts) >= cfg.MaxPreemptsPerCycle {
+			break
+		}
+		if granted[req] {
+			continue
+		}
+		victim, ok := pickVictim(stations, byName, prio, req, d.Preempts)
+		if !ok {
+			break // best requester can preempt nobody; worse ones cannot either
+		}
+		d.Preempts = append(d.Preempts, Preempt{
+			Exec:        victim.Name,
+			JobID:       victim.ForeignJob,
+			Victim:      victim.ForeignOwner,
+			Beneficiary: req,
+		})
+	}
+	return d
+}
+
+// idleMachines returns usable idle stations ordered per the placement
+// strategy.
+func idleMachines(stations []StationView, cfg Config) []string {
+	var idle []StationView
+	for _, s := range stations {
+		if s.State != proto.StationIdle {
+			continue
+		}
+		if cfg.MinDiskBytes > 0 && s.DiskFree < cfg.MinDiskBytes {
+			continue // §4: a full disk makes the station unusable
+		}
+		idle = append(idle, s)
+	}
+	switch cfg.Placement {
+	case PlaceHistory:
+		sort.SliceStable(idle, func(i, j int) bool {
+			if idle[i].AvgIdleLen != idle[j].AvgIdleLen {
+				return idle[i].AvgIdleLen > idle[j].AvgIdleLen
+			}
+			if idle[i].IdleStreak != idle[j].IdleStreak {
+				return idle[i].IdleStreak > idle[j].IdleStreak
+			}
+			return idle[i].Name < idle[j].Name
+		})
+	default: // PlaceFirstFit
+		sort.SliceStable(idle, func(i, j int) bool { return idle[i].Name < idle[j].Name })
+	}
+	out := make([]string, len(idle))
+	for i, s := range idle {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// pickVictim finds the claimed station whose foreign job's owner has the
+// worst priority among those the requester strictly outranks, skipping
+// stations already being preempted this cycle and the requester's own
+// jobs.
+func pickVictim(
+	stations []StationView,
+	byName map[string]StationView,
+	prio Prioritizer,
+	requester string,
+	already []Preempt,
+) (StationView, bool) {
+	busy := make(map[string]bool, len(already))
+	for _, p := range already {
+		busy[p.Exec] = true
+	}
+	var victim StationView
+	found := false
+	for _, s := range stations {
+		if s.State != proto.StationClaimed || s.ForeignJob == "" || busy[s.Name] {
+			continue
+		}
+		if s.ForeignOwner == requester {
+			continue // never preempt yourself to serve yourself
+		}
+		if !prio.Better(requester, s.ForeignOwner) {
+			continue
+		}
+		if !found || prio.Better(victim.ForeignOwner, s.ForeignOwner) {
+			// s's owner is worse than the current victim's owner:
+			// prefer evicting the worst-priority holder.
+			victim = s
+			found = true
+		}
+	}
+	_ = byName
+	return victim, found
+}
+
+// FIFOPrioritizer ranks stations by first-seen order, ignoring
+// consumption history. It exists for the A3 ablation (Up-Down vs FIFO).
+type FIFOPrioritizer struct {
+	order map[string]int
+	next  int
+}
+
+var _ Prioritizer = (*FIFOPrioritizer)(nil)
+
+// NewFIFOPrioritizer returns an empty FIFO prioritizer.
+func NewFIFOPrioritizer() *FIFOPrioritizer {
+	return &FIFOPrioritizer{order: make(map[string]int)}
+}
+
+// Touch registers a station, establishing its FIFO position.
+func (f *FIFOPrioritizer) Touch(name string) {
+	if _, ok := f.order[name]; !ok {
+		f.order[name] = f.next
+		f.next++
+	}
+}
+
+// Rank implements Prioritizer.
+func (f *FIFOPrioritizer) Rank(names []string) []string {
+	out := append([]string(nil), names...)
+	for _, n := range out {
+		f.Touch(n)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return f.order[out[i]] < f.order[out[j]] })
+	return out
+}
+
+// Better implements Prioritizer.
+func (f *FIFOPrioritizer) Better(a, b string) bool {
+	f.Touch(a)
+	f.Touch(b)
+	return f.order[a] < f.order[b]
+}

@@ -1,0 +1,22 @@
+package proto
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+func gobEncode(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, fmt.Errorf("proto: encode %T: %w", v, err)
+	}
+	return buf.Bytes(), nil
+}
+
+func gobDecode(blob []byte, v any) error {
+	if err := gob.NewDecoder(bytes.NewReader(blob)).Decode(v); err != nil {
+		return fmt.Errorf("proto: decode %T: %w", v, err)
+	}
+	return nil
+}

@@ -1,0 +1,438 @@
+// Package proto defines the messages and shared vocabulary spoken by the
+// Condor daemons: coordinator ↔ station (poll/grant/preempt), client ↔
+// station (submit/queue), and shadow ↔ starter (place/syscall/vacate —
+// the Remote Unix protocol).
+//
+// All message types are registered with encoding/gob so they can travel
+// inside wire.Envelope. Checkpoints travel as opaque ckpt-format blobs
+// (see internal/ckpt), never as live structures: a fresh job placement is
+// just a restore from a sequence-zero checkpoint, which is why placing
+// and checkpointing cost the same 5 s/MB in the paper's measurements.
+package proto
+
+import (
+	"encoding/gob"
+	"fmt"
+	"time"
+
+	"condor/internal/cvm"
+	"condor/internal/eventlog"
+)
+
+// StationState is a workstation's scheduling state as seen by its local
+// scheduler and reported to the coordinator.
+type StationState int
+
+// Station states.
+const (
+	// StationOwner: the owner is active; no foreign work may run.
+	StationOwner StationState = iota + 1
+	// StationIdle: no owner activity; available as a cycle source.
+	StationIdle
+	// StationClaimed: a foreign background job is executing here.
+	StationClaimed
+	// StationSuspended: the owner returned; the foreign job is stopped
+	// but kept in memory for the grace period (§4).
+	StationSuspended
+)
+
+// String returns a short state name.
+func (s StationState) String() string {
+	switch s {
+	case StationOwner:
+		return "owner"
+	case StationIdle:
+		return "idle"
+	case StationClaimed:
+		return "claimed"
+	case StationSuspended:
+		return "suspended"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// JobState is a background job's lifecycle state in its home queue.
+type JobState int
+
+// Job states.
+const (
+	// JobIdle: queued, waiting for capacity.
+	JobIdle JobState = iota + 1
+	// JobPlacing: being transferred to an execution site.
+	JobPlacing
+	// JobRunning: executing remotely.
+	JobRunning
+	// JobSuspendedState: stopped at the execution site, grace period.
+	JobSuspendedState
+	// JobCompleted: finished successfully.
+	JobCompleted
+	// JobFaulted: the program faulted; it will not be rescheduled.
+	JobFaulted
+	// JobRemoved: removed by its owner.
+	JobRemoved
+)
+
+// String returns a short state name.
+func (s JobState) String() string {
+	switch s {
+	case JobIdle:
+		return "idle"
+	case JobPlacing:
+		return "placing"
+	case JobRunning:
+		return "running"
+	case JobSuspendedState:
+		return "suspended"
+	case JobCompleted:
+		return "completed"
+	case JobFaulted:
+		return "faulted"
+	case JobRemoved:
+		return "removed"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == JobCompleted || s == JobFaulted || s == JobRemoved
+}
+
+// JobStatus describes one queued job.
+type JobStatus struct {
+	ID          string    `json:"id"`
+	Owner       string    `json:"owner"`
+	Program     string    `json:"program"`
+	State       JobState  `json:"state"`
+	SubmittedAt time.Time `json:"submittedAt"`
+	// CPUSteps is guest CPU consumed so far (from the latest checkpoint
+	// or completion).
+	CPUSteps uint64 `json:"cpuSteps"`
+	// ExecHost is the current or last execution site.
+	ExecHost string `json:"execHost"`
+	// Checkpoints is how many times the job has been checkpointed.
+	Checkpoints int `json:"checkpoints"`
+	// Placements is how many times the job has been placed on a machine.
+	Placements int `json:"placements"`
+	// Priority is the job's local queue priority (higher first).
+	Priority int    `json:"priority"`
+	ExitCode int64  `json:"exitCode"`
+	FaultMsg string `json:"faultMsg,omitempty"`
+	Stdout   string `json:"stdout,omitempty"`
+}
+
+// StationInfo is one row of the coordinator's pool table.
+type StationInfo struct {
+	Name  string       `json:"name"`
+	Addr  string       `json:"addr"`
+	State StationState `json:"state"`
+	// WaitingJobs is how many background jobs the station has queued.
+	WaitingJobs int `json:"waitingJobs"`
+	// RunningJobs is how many of the station's own jobs run remotely.
+	RunningJobs int `json:"runningJobs"`
+	// ForeignJob is the job id executing on this station, if claimed.
+	ForeignJob string `json:"foreignJob,omitempty"`
+	// ScheduleIndex is the station's Up-Down priority index.
+	ScheduleIndex float64 `json:"scheduleIndex"`
+	// LastPoll is when the coordinator last heard from the station.
+	LastPoll time.Time `json:"lastPoll"`
+	// DiskFreeBytes is free checkpoint-store space on the station.
+	DiskFreeBytes int64 `json:"diskFreeBytes"`
+	// ReservedFor names the station holding a §5.3 reservation on this
+	// machine, if any.
+	ReservedFor string `json:"reservedFor,omitempty"`
+	// ReservedUntil is the reservation expiry.
+	ReservedUntil time.Time `json:"reservedUntil,omitempty"`
+}
+
+// --- client ↔ station ------------------------------------------------
+
+// SubmitRequest submits a program to a station's background queue.
+type SubmitRequest struct {
+	Owner string
+	// Source is cvm assembler source; the station assembles it.
+	Source string
+	// Name names the program (used for text sharing and display).
+	Name string
+	// ProgramBlob is an alternative to Source: a gob-encoded cvm.Program.
+	ProgramBlob []byte
+	// StackWords optionally overrides the default stack size.
+	StackWords int
+	// Priority orders the job within its home queue (higher runs first;
+	// the local scheduler's own decision, §2.1). Ties break FIFO.
+	Priority int
+}
+
+// SubmitReply acknowledges a submission.
+type SubmitReply struct {
+	JobID string
+}
+
+// QueueRequest asks a station for its queue contents.
+type QueueRequest struct{}
+
+// QueueReply lists the station's jobs.
+type QueueReply struct {
+	Station string
+	Jobs    []JobStatus
+}
+
+// RemoveRequest removes a job from the queue (and vacates it if running).
+type RemoveRequest struct {
+	JobID string
+}
+
+// RemoveReply acknowledges a removal.
+type RemoveReply struct {
+	Removed bool
+}
+
+// WaitRequest blocks until the job reaches a terminal state (or the
+// server's patience runs out; Found reports whether the job exists).
+type WaitRequest struct {
+	JobID string
+}
+
+// WaitReply carries the terminal status.
+type WaitReply struct {
+	Found  bool
+	Status JobStatus
+}
+
+// --- coordinator ↔ station -------------------------------------------
+
+// RegisterRequest announces a station to the coordinator.
+type RegisterRequest struct {
+	Name string
+	Addr string
+}
+
+// RegisterReply acknowledges registration.
+type RegisterReply struct {
+	OK bool
+	// PollInterval tells the station how often it will be polled.
+	PollIntervalMillis int64
+}
+
+// PollRequest is the coordinator's 2-minute heartbeat to a station.
+type PollRequest struct{}
+
+// PollReply is the station's state report.
+type PollReply struct {
+	Name  string
+	State StationState
+	// WaitingJobs counts queued jobs wanting remote capacity.
+	WaitingJobs int
+	// ForeignJob is the id of the foreign job running here, if any.
+	ForeignJob string
+	// ForeignOwnerStation is the home station of that job.
+	ForeignOwnerStation string
+	// DiskFreeBytes is free checkpoint-store space (§4: a full disk makes
+	// the station unusable as an execution site).
+	DiskFreeBytes int64
+	// IdleStreakMillis is how long the station has currently been idle.
+	IdleStreakMillis int64
+	// AvgIdleMillis is the station's historic mean idle-interval length,
+	// feeding the §5.1 availability-history placement strategy.
+	AvgIdleMillis int64
+}
+
+// GrantRequest awards the station capacity on an idle machine. The
+// station decides which of its queued jobs to run there (§2.1: "A local
+// scheduler with more than one background job waiting makes its own
+// decision of which job should be executed next").
+type GrantRequest struct {
+	ExecName string
+	ExecAddr string
+}
+
+// GrantReply reports whether the grant was used.
+type GrantReply struct {
+	Used  bool
+	JobID string
+	// Reason explains an unused grant (no jobs left, pacing, disk, ...).
+	Reason string
+}
+
+// PreemptRequest tells the execution station to vacate the foreign job it
+// is running (Up-Down priority inversion or administrative action).
+type PreemptRequest struct {
+	JobID  string
+	Reason string
+}
+
+// PreemptReply acknowledges the vacate has begun.
+type PreemptReply struct {
+	Vacating bool
+}
+
+// ReserveRequest reserves an execution machine for a station's exclusive
+// use until the given time — the §5.3 reservation system, used to
+// "guarantee computing capacity for users in advance in order to conduct
+// experiments in distributed computations". The workstation's owner
+// still preempts everything; a reservation only arbitrates among remote
+// users.
+type ReserveRequest struct {
+	// Station is the machine being reserved.
+	Station string
+	// Holder is the station whose jobs may use it.
+	Holder string
+	// DurationMillis bounds the reservation from now.
+	DurationMillis int64
+}
+
+// ReserveReply reports the reservation outcome.
+type ReserveReply struct {
+	OK bool
+	// Reason explains a refusal (unknown station, already reserved, ...).
+	Reason string
+	// UntilUnixMillis is the reservation expiry.
+	UntilUnixMillis int64
+}
+
+// CancelReservationRequest releases a reservation.
+type CancelReservationRequest struct {
+	Station string
+}
+
+// CancelReservationReply acknowledges the cancellation.
+type CancelReservationReply struct {
+	Cancelled bool
+}
+
+// HistoryRequest asks a daemon for its recent event log. JobID filters
+// to one job's trail; Limit caps the number of events (0 = all retained).
+type HistoryRequest struct {
+	JobID string
+	Limit int
+}
+
+// HistoryReply carries the events, oldest first.
+type HistoryReply struct {
+	Events []eventlog.Event
+}
+
+// PoolStatusRequest asks the coordinator for the pool table.
+type PoolStatusRequest struct{}
+
+// PoolStatusReply is the pool table.
+type PoolStatusReply struct {
+	Stations []StationInfo
+}
+
+// --- shadow ↔ starter (Remote Unix) ----------------------------------
+
+// PlaceRequest ships a job to an execution machine. Checkpoint is a
+// ckpt-format blob (sequence 0 for a fresh job). The connection that
+// carried PlaceRequest stays open: the executor sends SyscallMsg and
+// finally one of JobDoneMsg/JobVacatedMsg back over it.
+type PlaceRequest struct {
+	JobID      string
+	Owner      string
+	HomeHost   string
+	Checkpoint []byte
+}
+
+// PlaceReply accepts or rejects the placement.
+type PlaceReply struct {
+	Accepted bool
+	Reason   string
+}
+
+// SyscallMsg forwards one guest system call to the shadow.
+type SyscallMsg struct {
+	JobID string
+	Req   cvm.SyscallRequest
+}
+
+// SyscallReplyMsg is the shadow's answer.
+type SyscallReplyMsg struct {
+	Rep cvm.SyscallReply
+}
+
+// JobDoneMsg reports job termination to the shadow.
+type JobDoneMsg struct {
+	JobID    string
+	ExitCode int64
+	Steps    uint64
+	Syscalls uint64
+	Faulted  bool
+	FaultMsg string
+}
+
+// JobVacatedMsg returns a checkpointed job to the shadow.
+type JobVacatedMsg struct {
+	JobID      string
+	Checkpoint []byte
+	Reason     string
+	Steps      uint64
+}
+
+// JobCheckpointMsg ships a periodic checkpoint to the shadow while the
+// job keeps running (§4's proposed strategy; the A5 ablation). One-way.
+type JobCheckpointMsg struct {
+	JobID      string
+	Checkpoint []byte
+	Steps      uint64
+}
+
+// JobSuspendedMsg is a one-way notice: owner returned, grace period
+// started.
+type JobSuspendedMsg struct {
+	JobID string
+}
+
+// JobResumedMsg is a one-way notice: owner left again within the grace
+// period; the job continues where it stopped.
+type JobResumedMsg struct {
+	JobID string
+}
+
+// Ack is a generic empty acknowledgement.
+type Ack struct{}
+
+// EncodeProgram gob-encodes a program for SubmitRequest.ProgramBlob.
+func EncodeProgram(p *cvm.Program) ([]byte, error) {
+	return gobEncode(p)
+}
+
+// DecodeProgram decodes SubmitRequest.ProgramBlob.
+func DecodeProgram(blob []byte) (*cvm.Program, error) {
+	var p cvm.Program
+	if err := gobDecode(blob, &p); err != nil {
+		return nil, err
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// Message types are registered with gob at package load. This is one of
+// the sanctioned init uses (an encoding type registry): deterministic, no
+// I/O, no environment access.
+func init() {
+	for _, msg := range []any{
+		SubmitRequest{}, SubmitReply{},
+		QueueRequest{}, QueueReply{},
+		RemoveRequest{}, RemoveReply{},
+		WaitRequest{}, WaitReply{},
+		RegisterRequest{}, RegisterReply{},
+		PollRequest{}, PollReply{},
+		GrantRequest{}, GrantReply{},
+		PreemptRequest{}, PreemptReply{},
+		ReserveRequest{}, ReserveReply{},
+		HistoryRequest{}, HistoryReply{},
+		CancelReservationRequest{}, CancelReservationReply{},
+		PoolStatusRequest{}, PoolStatusReply{},
+		PlaceRequest{}, PlaceReply{},
+		SyscallMsg{}, SyscallReplyMsg{},
+		JobDoneMsg{}, JobVacatedMsg{}, JobCheckpointMsg{},
+		JobSuspendedMsg{}, JobResumedMsg{},
+		Ack{},
+	} {
+		gob.Register(msg)
+	}
+}

@@ -1,0 +1,125 @@
+package proto
+
+import (
+	"strings"
+	"testing"
+
+	"condor/internal/cvm"
+	"condor/internal/eventlog"
+	"condor/internal/wire"
+)
+
+func TestProgramBlobRoundTrip(t *testing.T) {
+	p := cvm.PrimeCountProgram(1000)
+	blob, err := EncodeProgram(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeProgram(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != p.Name || len(got.Text) != len(p.Text) {
+		t.Fatalf("round trip lost content: %q %d", got.Name, len(got.Text))
+	}
+	if got.TextChecksum() != p.TextChecksum() {
+		t.Fatal("checksum changed across encode/decode")
+	}
+}
+
+func TestDecodeProgramRejectsGarbage(t *testing.T) {
+	if _, err := DecodeProgram([]byte("not gob")); err == nil {
+		t.Fatal("garbage decoded")
+	}
+}
+
+func TestDecodeProgramValidates(t *testing.T) {
+	bad := &cvm.Program{Name: "bad", Text: []cvm.Instr{{Op: cvm.OpJmp, A: 99}}}
+	blob, err := EncodeProgram(bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeProgram(blob); err == nil {
+		t.Fatal("invalid program decoded without error")
+	}
+}
+
+func TestMessagesTravelThroughEnvelopes(t *testing.T) {
+	// Every registered message must survive a gob round trip inside a
+	// wire.Envelope (catching forgotten gob.Register calls).
+	msgs := []any{
+		SubmitRequest{Owner: "A", Name: "sum", Source: "..."},
+		SubmitReply{JobID: "ws1/1"},
+		QueueRequest{},
+		QueueReply{Station: "ws1", Jobs: []JobStatus{{ID: "j", State: JobRunning}}},
+		RemoveRequest{JobID: "j"}, RemoveReply{Removed: true},
+		WaitRequest{JobID: "j"}, WaitReply{Found: true},
+		RegisterRequest{Name: "ws1", Addr: "127.0.0.1:1"},
+		RegisterReply{OK: true, PollIntervalMillis: 120000},
+		PollRequest{},
+		PollReply{Name: "ws1", State: StationIdle, WaitingJobs: 2},
+		GrantRequest{ExecName: "ws2", ExecAddr: "127.0.0.1:2"},
+		GrantReply{Used: true, JobID: "j"},
+		PreemptRequest{JobID: "j", Reason: "up-down"},
+		PreemptReply{Vacating: true},
+		ReserveRequest{Station: "ws2", Holder: "ws1", DurationMillis: 1000},
+		ReserveReply{OK: true, UntilUnixMillis: 42},
+		CancelReservationRequest{Station: "ws2"},
+		CancelReservationReply{Cancelled: true},
+		HistoryRequest{JobID: "j", Limit: 10},
+		HistoryReply{Events: []eventlog.Event{{Kind: eventlog.KindGrant, Job: "j"}}},
+		PoolStatusRequest{},
+		PoolStatusReply{Stations: []StationInfo{{Name: "ws1", State: StationClaimed}}},
+		PlaceRequest{JobID: "j", Checkpoint: []byte{1, 2, 3}},
+		PlaceReply{Accepted: false, Reason: "owner active"},
+		SyscallMsg{JobID: "j", Req: cvm.SyscallRequest{Num: cvm.SysWrite, Data: []byte("x")}},
+		SyscallReplyMsg{Rep: cvm.SyscallReply{Ret: 1}},
+		JobDoneMsg{JobID: "j", ExitCode: 0, Steps: 100},
+		JobVacatedMsg{JobID: "j", Checkpoint: []byte{9}, Reason: "owner returned"},
+		JobSuspendedMsg{JobID: "j"},
+		JobResumedMsg{JobID: "j"},
+		Ack{},
+	}
+	for _, msg := range msgs {
+		env := wire.Envelope{ID: 1, Kind: wire.KindRequest, Msg: msg}
+		blob, err := gobEncode(&env)
+		if err != nil {
+			t.Fatalf("%T: %v", msg, err)
+		}
+		var out wire.Envelope
+		if err := gobDecode(blob, &out); err != nil {
+			t.Fatalf("%T: decode: %v", msg, err)
+		}
+		if out.Msg == nil {
+			t.Fatalf("%T: message lost", msg)
+		}
+	}
+}
+
+func TestStateStrings(t *testing.T) {
+	if StationIdle.String() != "idle" || StationSuspended.String() != "suspended" {
+		t.Fatal("station state names wrong")
+	}
+	if !strings.Contains(StationState(42).String(), "42") {
+		t.Fatal("unknown station state should include number")
+	}
+	if JobCompleted.String() != "completed" || JobPlacing.String() != "placing" {
+		t.Fatal("job state names wrong")
+	}
+	if !strings.Contains(JobState(42).String(), "42") {
+		t.Fatal("unknown job state should include number")
+	}
+}
+
+func TestTerminalStates(t *testing.T) {
+	for _, s := range []JobState{JobCompleted, JobFaulted, JobRemoved} {
+		if !s.Terminal() {
+			t.Fatalf("%v should be terminal", s)
+		}
+	}
+	for _, s := range []JobState{JobIdle, JobPlacing, JobRunning, JobSuspendedState} {
+		if s.Terminal() {
+			t.Fatalf("%v should not be terminal", s)
+		}
+	}
+}

@@ -1,0 +1,28 @@
+// Package ru implements the Remote Unix facility (§2.2): the mechanism
+// that turns idle workstations into cycle servers.
+//
+// Two halves talk over one wire connection:
+//
+//   - The Shadow runs on the submitting machine as the surrogate of the
+//     remote job. It dials the execution machine's Starter, ships the job
+//     (a checkpoint blob — sequence zero for a fresh job), and then
+//     serves every system call the job makes, executing it against the
+//     submitting machine's files. "Any Unix system calls of a program on
+//     the remote machine invokes a library routine which communicates
+//     with the shadow process."
+//
+//   - The Starter runs on the execution machine. It accepts at most one
+//     foreign job, restores the checkpoint into a VM, and interleaves
+//     execution slices with owner-activity scans every ScanInterval
+//     (the paper's ½ minute). When the owner returns, the job is
+//     suspended immediately — "the CPUs are immediately returned" — and
+//     kept for SuspendGrace (the paper's 5 minutes) in the hope the
+//     owner leaves again; only then is it checkpointed and shipped back
+//     (§4). The §4 alternative, killing immediately and relying on
+//     periodic checkpoints, is available as VacatePolicy/
+//     PeriodicCheckpoint and is compared in the A5 ablation.
+//
+// Checkpoints are taken only between execution slices, never while a
+// system call is in flight, which realizes the paper's rule that
+// "checkpointing is deferred until the shadow's reply has been received".
+package ru

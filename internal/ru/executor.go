@@ -1,0 +1,251 @@
+package ru
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"condor/internal/ckpt"
+	"condor/internal/cvm"
+	"condor/internal/proto"
+	"condor/internal/wire"
+)
+
+type ctlKind int
+
+const (
+	ctlSuspend ctlKind = iota + 1
+	ctlResume
+	ctlVacate
+	ctlKill
+)
+
+type ctl struct {
+	kind   ctlKind
+	reason string
+}
+
+// execution is one foreign job resident on a starter.
+type execution struct {
+	starter *Starter
+	jobID   string
+	owner   string
+	home    string
+	peer    *wire.Peer
+	vm      *cvm.VM
+	meta    ckpt.Meta
+	// lastCkpt is the most recent checkpoint blob (the placement image
+	// initially, updated by periodic checkpoints). Under the
+	// kill-immediately policy this is what gets shipped back.
+	lastCkpt      []byte
+	lastCkptSteps uint64
+	ctl           chan ctl
+}
+
+// post delivers a control message without ever blocking the scan loop; a
+// full channel means the executor is already draining a burst of
+// commands and the scan will re-evaluate next tick.
+func (e *execution) post(c ctl) {
+	select {
+	case e.ctl <- c:
+	default:
+	}
+}
+
+// abort hard-stops the execution (starter shutdown). The shadow observes
+// the connection loss and reschedules.
+func (e *execution) abort() {
+	e.peer.Close()
+}
+
+// run is the executor loop: interleave VM slices with control handling.
+func (e *execution) run() {
+	defer e.starter.clear(e)
+	cfg := e.starter.cfg
+	suspended := false
+	lastPeriodic := time.Now()
+	for {
+		// Drain control. While suspended, block until something changes;
+		// while running, just poll.
+		for {
+			var c ctl
+			if suspended {
+				select {
+				case c = <-e.ctl:
+				case <-e.abortedOrPeerDone():
+					return
+				}
+			} else {
+				select {
+				case c = <-e.ctl:
+				case <-e.peer.Done():
+					// Shadow hung up: stop burning cycles on an orphan.
+					return
+				default:
+				}
+			}
+			if c.kind == 0 {
+				break
+			}
+			switch c.kind {
+			case ctlSuspend:
+				if !suspended {
+					suspended = true
+					_ = e.peer.Notify(proto.JobSuspendedMsg{JobID: e.jobID})
+				}
+			case ctlResume:
+				if suspended {
+					suspended = false
+					_ = e.peer.Notify(proto.JobResumedMsg{JobID: e.jobID})
+				}
+			case ctlVacate:
+				e.vacate(c.reason)
+				return
+			case ctlKill:
+				e.killWithLastCheckpoint(c.reason)
+				return
+			}
+			if suspended {
+				continue // keep blocking on ctl
+			}
+			break
+		}
+		if suspended {
+			continue
+		}
+
+		status, err := e.vm.Run(cfg.StepsPerSlice)
+		if err != nil {
+			var fault *cvm.FaultError
+			if errors.As(err, &fault) {
+				e.starter.bump(func(s *StarterStats) { s.Faulted++ })
+				e.starter.clear(e)
+				e.finish(proto.JobDoneMsg{
+					JobID:    e.jobID,
+					Faulted:  true,
+					FaultMsg: fault.Error(),
+					Steps:    e.vm.Steps(),
+					Syscalls: e.vm.Syscalls(),
+				})
+				return
+			}
+			// Host error: the shadow connection broke. Nothing to report
+			// to anyone; the shadow's JobLost path owns recovery.
+			e.peer.Close()
+			return
+		}
+		if status == cvm.StatusHalted {
+			e.starter.bump(func(s *StarterStats) { s.Completed++ })
+			e.starter.clear(e)
+			e.finish(proto.JobDoneMsg{
+				JobID:    e.jobID,
+				ExitCode: e.vm.ExitCode(),
+				Steps:    e.vm.Steps(),
+				Syscalls: e.vm.Syscalls(),
+			})
+			return
+		}
+
+		if cfg.PeriodicCheckpoint > 0 && time.Since(lastPeriodic) >= cfg.PeriodicCheckpoint {
+			lastPeriodic = time.Now()
+			if blob, err := e.snapshotBlob(); err == nil {
+				e.lastCkpt = blob
+				e.lastCkptSteps = e.vm.Steps()
+				_ = e.peer.Notify(proto.JobCheckpointMsg{
+					JobID:      e.jobID,
+					Checkpoint: blob,
+					Steps:      e.vm.Steps(),
+				})
+				e.starter.bump(func(s *StarterStats) { s.PeriodicCkpts++ })
+			}
+		}
+		if cfg.SliceDelay > 0 {
+			time.Sleep(cfg.SliceDelay)
+		}
+	}
+}
+
+// abortedOrPeerDone lets a suspended executor notice a dead connection.
+func (e *execution) abortedOrPeerDone() <-chan struct{} {
+	return e.peer.Done()
+}
+
+func (e *execution) snapshotBlob() ([]byte, error) {
+	img := e.vm.Snapshot()
+	meta := e.meta
+	meta.Sequence++
+	meta.CPUSteps = e.vm.Steps()
+	e.meta = meta
+	return ckpt.EncodeBytesWith(meta, img, ckpt.Options{Compress: true})
+}
+
+// vacate checkpoints the job and ships it to the shadow.
+func (e *execution) vacate(reason string) {
+	blob, err := e.snapshotBlob()
+	if err != nil {
+		// Encoding can only fail on an invalid image; fall back to the
+		// last good checkpoint rather than losing the job.
+		blob = e.lastCkpt
+	}
+	e.starter.bump(func(s *StarterStats) { s.Vacated++ })
+	e.starter.clear(e)
+	e.ship(proto.JobVacatedMsg{
+		JobID:      e.jobID,
+		Checkpoint: blob,
+		Reason:     reason,
+		Steps:      e.vm.Steps(),
+	})
+}
+
+// killWithLastCheckpoint implements the §4 kill-immediately policy: no
+// fresh checkpoint is taken; work since the last one is lost.
+func (e *execution) killWithLastCheckpoint(reason string) {
+	e.starter.bump(func(s *StarterStats) { s.Vacated++ })
+	e.starter.clear(e)
+	e.ship(proto.JobVacatedMsg{
+		JobID:      e.jobID,
+		Checkpoint: e.lastCkpt,
+		Reason:     fmt.Sprintf("%s (killed; resuming from last checkpoint)", reason),
+		Steps:      e.lastCkptSteps,
+	})
+}
+
+func (e *execution) ship(msg proto.JobVacatedMsg) {
+	ctx, cancel := context.WithTimeout(context.Background(), e.starter.cfg.SyscallTimeout)
+	defer cancel()
+	_, _ = e.peer.Call(ctx, msg)
+	e.peer.Close()
+}
+
+func (e *execution) finish(msg proto.JobDoneMsg) {
+	ctx, cancel := context.WithTimeout(context.Background(), e.starter.cfg.SyscallTimeout)
+	defer cancel()
+	_, _ = e.peer.Call(ctx, msg)
+	e.peer.Close()
+}
+
+// remoteHandler forwards guest system calls to the shadow.
+type remoteHandler struct {
+	peer    *wire.Peer
+	jobID   string
+	timeout time.Duration
+}
+
+var _ cvm.SyscallHandler = (*remoteHandler)(nil)
+
+// Syscall implements cvm.SyscallHandler by shipping the request over the
+// placement connection and waiting for the shadow's reply.
+func (h *remoteHandler) Syscall(req cvm.SyscallRequest) (cvm.SyscallReply, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), h.timeout)
+	defer cancel()
+	reply, err := h.peer.Call(ctx, proto.SyscallMsg{JobID: h.jobID, Req: req})
+	if err != nil {
+		return cvm.SyscallReply{}, fmt.Errorf("ru: syscall forward: %w", err)
+	}
+	rep, ok := reply.(proto.SyscallReplyMsg)
+	if !ok {
+		return cvm.SyscallReply{}, fmt.Errorf("ru: unexpected syscall reply %T", reply)
+	}
+	return rep.Rep, nil
+}

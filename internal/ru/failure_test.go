@@ -1,0 +1,263 @@
+package ru
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"condor/internal/cvm"
+	"condor/internal/proto"
+)
+
+// flakyHost wraps a MemHost and fails every syscall after a trigger is
+// armed — simulating the submit machine becoming unreachable mid-run.
+type flakyHost struct {
+	inner *cvm.MemHost
+	mu    sync.Mutex
+	fail  bool
+}
+
+func (f *flakyHost) Syscall(req cvm.SyscallRequest) (cvm.SyscallReply, error) {
+	f.mu.Lock()
+	fail := f.fail
+	f.mu.Unlock()
+	if fail {
+		return cvm.SyscallReply{}, errors.New("injected shadow failure")
+	}
+	return f.inner.Syscall(req)
+}
+
+func (f *flakyHost) trip() {
+	f.mu.Lock()
+	f.fail = true
+	f.mu.Unlock()
+}
+
+func TestShadowFailureDuringSyscallLosesNothingDurable(t *testing.T) {
+	// The shadow's host starts failing mid-run. The executor sees the
+	// syscall error propagate as a remote error; the job's own state
+	// remains consistent: re-placing the job's last checkpoint against a
+	// healthy host must still produce the right answer.
+	s := newSite(t, StarterConfig{SliceDelay: time.Millisecond, StepsPerSlice: 2_000})
+	host := &flakyHost{inner: cvm.NewMemHost()}
+	rec := newRecorder()
+	blob := freshBlob(t, "j", cvm.SumProgram(2_000_000))
+	sh, err := Place(s.server.Addr(), proto.PlaceRequest{
+		JobID: "j", Owner: "t", HomeHost: "home", Checkpoint: blob,
+	}, host, rec, PlaceConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(15 * time.Millisecond)
+	host.trip() // the job's final print will fail on the shadow side
+
+	// When the guest eventually issues its print, the shadow handler
+	// errors; the executor gets a RemoteError host failure and drops the
+	// connection, which the shadow reports as JobLost (after seeing no
+	// terminal message) — or the remote error reaches the executor which
+	// closes, same observable.
+	select {
+	case <-rec.lostCh:
+	case m := <-rec.doneCh:
+		// The print may have squeaked through before the trip; then the
+		// run legitimately completed.
+		if m.Faulted {
+			t.Fatalf("guest faulted: %+v", m)
+		}
+		return
+	case <-time.After(10 * time.Second):
+		t.Fatal("neither loss nor completion observed")
+	}
+	_ = sh
+
+	// Recovery: run the original placement blob on a fresh site with a
+	// healthy host — the answer must be exact (restart from checkpoint).
+	s2 := newSite(t, StarterConfig{})
+	host2 := cvm.NewMemHost()
+	rec2 := newRecorder()
+	place(t, s2, "j", blob, host2, rec2)
+	waitDone(t, rec2, 10*time.Second)
+	if got := strings.TrimSpace(host2.Stdout()); got != "2000001000000" {
+		t.Fatalf("recovered answer = %q", got)
+	}
+}
+
+func TestSlowShadowSyscallTimesOutWithoutWedgingStarter(t *testing.T) {
+	// A shadow that never answers one syscall: the executor's syscall
+	// timeout must fire, the machine must free up for new placements.
+	s := newSite(t, StarterConfig{
+		SyscallTimeout: 50 * time.Millisecond,
+		SliceDelay:     time.Millisecond,
+		StepsPerSlice:  2_000,
+	})
+	block := make(chan struct{})
+	stuck := cvm.SyscallHandlerFunc(func(req cvm.SyscallRequest) (cvm.SyscallReply, error) {
+		<-block
+		return cvm.SyscallReply{}, nil
+	})
+	defer close(block)
+	rec := newRecorder()
+	place(t, s, "stuck", freshBlob(t, "stuck", cvm.SumProgram(1000)), stuck, rec)
+
+	// The job needs a print syscall at the end; the handler blocks, the
+	// executor times out, closes, and the shadow reports loss.
+	select {
+	case <-rec.lostCh:
+	case <-time.After(10 * time.Second):
+		t.Fatal("starter wedged on a slow shadow")
+	}
+	// The machine accepts a new job afterwards.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, _, busy := s.starter.Running(); !busy {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("machine still claimed by the stuck job")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	host := cvm.NewMemHost()
+	rec2 := newRecorder()
+	place(t, s, "next", freshBlob(t, "next", cvm.SumProgram(100)), host, rec2)
+	waitDone(t, rec2, 10*time.Second)
+	if strings.TrimSpace(host.Stdout()) != "5050" {
+		t.Fatalf("follow-up job broken: %q", host.Stdout())
+	}
+}
+
+func TestTamperedCheckpointRejectedAtPlacement(t *testing.T) {
+	s := newSite(t, StarterConfig{})
+	blob := freshBlob(t, "j", cvm.SumProgram(10))
+	blob[len(blob)-1] ^= 0xff // corrupt payload; CRC must catch it
+	_, err := Place(s.server.Addr(), proto.PlaceRequest{
+		JobID: "j", Checkpoint: blob,
+	}, cvm.NewMemHost(), newRecorder(), PlaceConfig{})
+	if !errors.Is(err, ErrPlacementRejected) {
+		t.Fatalf("tampered checkpoint err = %v, want rejection", err)
+	}
+	if !strings.Contains(err.Error(), "checksum") && !strings.Contains(err.Error(), "bad checkpoint") {
+		t.Fatalf("rejection reason opaque: %v", err)
+	}
+}
+
+func TestDoublePlacementRace(t *testing.T) {
+	// Two shadows race to place different jobs on one starter; exactly
+	// one must win, and the loser must get a clean rejection.
+	s := newSite(t, StarterConfig{SliceDelay: time.Millisecond, StepsPerSlice: 1_000})
+	type result struct {
+		sh  *Shadow
+		err error
+	}
+	results := make(chan result, 2)
+	for i := 0; i < 2; i++ {
+		i := i
+		go func() {
+			rec := newRecorder()
+			jobID := []string{"race-a", "race-b"}[i]
+			sh, err := Place(s.server.Addr(), proto.PlaceRequest{
+				JobID:      jobID,
+				Checkpoint: freshBlob(t, jobID, cvm.SpinProgram(200_000_000)),
+			}, cvm.NewMemHost(), rec, PlaceConfig{})
+			results <- result{sh: sh, err: err}
+		}()
+	}
+	var wins, rejections int
+	for i := 0; i < 2; i++ {
+		r := <-results
+		switch {
+		case r.err == nil:
+			wins++
+			r.sh.Close()
+		case errors.Is(r.err, ErrPlacementRejected):
+			rejections++
+		default:
+			t.Fatalf("unexpected error: %v", r.err)
+		}
+	}
+	if wins != 1 || rejections != 1 {
+		t.Fatalf("wins=%d rejections=%d, want exactly one of each", wins, rejections)
+	}
+}
+
+// TestSyscallEffectsNotDuplicatedAcrossMigration checks the §2.3
+// deferred-checkpoint rule end to end: a job appends a line to a file on
+// the submitting machine, then keeps computing; it is vacated and
+// resumed elsewhere. Because checkpoints are only taken after the
+// shadow's reply has been received, the append must appear exactly once
+// — never zero times, never twice.
+func TestSyscallEffectsNotDuplicatedAcrossMigration(t *testing.T) {
+	prog := cvm.MustAssemble("append-once", `
+.data
+outname: .str "log"
+line:    .str "checkpoint-me\n"
+n:       .word 3000000
+.text
+start:
+    MOVI r0, outname
+    MOVI r1, 3
+    MOVI r2, 4          ; FlagAppend
+    SYS  open
+    MOVI r9, 0
+    JLT  r0, r9, fail
+    MOV  r12, r0
+    MOV  r0, r12
+    MOVI r1, line
+    MOVI r2, 14
+    SYS  write
+    JLT  r0, r9, fail
+    MOV  r0, r12
+    SYS  close
+    ; now burn CPU so the vacate lands after the write
+    MOVI r0, n
+    LD   r2, [r0]
+    MOVI r1, 0
+loop:
+    JGE  r1, r2, done
+    ADDI r1, r1, 1
+    JMP  loop
+done:
+    HALT 0
+fail:
+    HALT 1
+`)
+	s := newSite(t, StarterConfig{SliceDelay: time.Millisecond, StepsPerSlice: 2_000})
+	host := cvm.NewMemHost()
+	rec := newRecorder()
+	place(t, s, "once", freshBlob(t, "once", prog), host, rec)
+
+	// Wait for the write to land, then vacate mid-loop.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if data, ok := host.File("log"); ok && len(data) > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("append never arrived")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if !s.starter.Vacate("once", "migrate") {
+		t.Fatal("vacate refused")
+	}
+	var vac proto.JobVacatedMsg
+	select {
+	case vac = <-rec.vacatedCh:
+	case <-time.After(5 * time.Second):
+		t.Fatal("no vacate")
+	}
+
+	s2 := newSite(t, StarterConfig{})
+	rec2 := newRecorder()
+	place(t, s2, "once", vac.Checkpoint, host, rec2)
+	done := waitDone(t, rec2, 10*time.Second)
+	if done.Faulted || done.ExitCode != 0 {
+		t.Fatalf("done = %+v", done)
+	}
+	data, _ := host.File("log")
+	if got := strings.Count(string(data), "checkpoint-me"); got != 1 {
+		t.Fatalf("append appeared %d times, want exactly once:\n%q", got, data)
+	}
+}

@@ -1,0 +1,223 @@
+package ru
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"condor/internal/cvm"
+	"condor/internal/proto"
+	"condor/internal/wire"
+)
+
+// ErrPlacementRejected is returned when the execution site declines the
+// job (owner active, already claimed, disk full, ...).
+var ErrPlacementRejected = errors.New("ru: placement rejected")
+
+// Events receives the shadow-side lifecycle callbacks. All callbacks are
+// invoked from shadow-internal goroutines; implementations must be safe
+// for concurrent use and must not block for long.
+type Events interface {
+	// JobDone fires when the job terminates (success or fault).
+	JobDone(msg proto.JobDoneMsg)
+	// JobVacated fires when a checkpoint comes back; the job should be
+	// rescheduled from it.
+	JobVacated(msg proto.JobVacatedMsg)
+	// JobCheckpointed fires for periodic checkpoints of a still-running
+	// job.
+	JobCheckpointed(msg proto.JobCheckpointMsg)
+	// JobSuspended / JobResumed are grace-period notices.
+	JobSuspended(jobID string)
+	JobResumed(jobID string)
+	// JobLost fires when the connection to the execution site dies
+	// without a terminal message: the execution machine crashed or was
+	// shut down. The job should be rescheduled from its last checkpoint.
+	JobLost(jobID string, err error)
+}
+
+// ShadowStats counts the local capacity a shadow spent supporting remote
+// execution — the denominator of the paper's leverage metric.
+type ShadowStats struct {
+	Syscalls        uint64
+	SyscallBytes    int64
+	CheckpointsIn   uint64
+	CheckpointBytes int64
+}
+
+// Shadow is the submit-side surrogate of one remotely executing job.
+type Shadow struct {
+	jobID    string
+	execSite string
+	peer     *wire.Peer
+	events   Events
+	handler  cvm.SyscallHandler
+
+	syscalls  atomic.Uint64
+	sysBytes  atomic.Int64
+	ckptsIn   atomic.Uint64
+	ckptBytes atomic.Int64
+
+	mu       sync.Mutex
+	terminal bool // saw JobDone or JobVacated
+
+	closed chan struct{}
+}
+
+// PlaceConfig parameterizes a placement.
+type PlaceConfig struct {
+	// DialTimeout bounds the TCP connect (default 5s).
+	DialTimeout time.Duration
+	// PlaceTimeout bounds the placement handshake (default 30s).
+	PlaceTimeout time.Duration
+	// Heartbeat probes the execution machine's liveness so a half-open
+	// connection (machine powered off mid-run) surfaces as JobLost
+	// rather than a shadow waiting forever. Zero disables probing.
+	Heartbeat time.Duration
+}
+
+func (c *PlaceConfig) sanitize() {
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 5 * time.Second
+	}
+	if c.PlaceTimeout <= 0 {
+		c.PlaceTimeout = 30 * time.Second
+	}
+}
+
+// Place ships a job to the starter at execAddr and returns its shadow.
+// The checkpoint blob is the job's full state (sequence zero for a fresh
+// job). handler executes the job's system calls on this machine.
+func Place(
+	execAddr string,
+	req proto.PlaceRequest,
+	handler cvm.SyscallHandler,
+	events Events,
+	cfg PlaceConfig,
+) (*Shadow, error) {
+	cfg.sanitize()
+	if handler == nil {
+		return nil, errors.New("ru: nil syscall handler")
+	}
+	if events == nil {
+		return nil, errors.New("ru: nil events sink")
+	}
+	s := &Shadow{
+		jobID:    req.JobID,
+		execSite: execAddr,
+		events:   events,
+		handler:  handler,
+		closed:   make(chan struct{}),
+	}
+	peer, err := wire.Dial(execAddr, cfg.DialTimeout, s.handle)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Heartbeat > 0 {
+		peer.StartHeartbeat(wire.Heartbeat{Interval: cfg.Heartbeat})
+	}
+	s.peer = peer
+
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.PlaceTimeout)
+	defer cancel()
+	reply, err := peer.Call(ctx, req)
+	if err != nil {
+		peer.Close()
+		return nil, fmt.Errorf("ru: place %s on %s: %w", req.JobID, execAddr, err)
+	}
+	pr, ok := reply.(proto.PlaceReply)
+	if !ok {
+		peer.Close()
+		return nil, fmt.Errorf("ru: place %s: unexpected reply %T", req.JobID, reply)
+	}
+	if !pr.Accepted {
+		peer.Close()
+		return nil, fmt.Errorf("%w: %s", ErrPlacementRejected, pr.Reason)
+	}
+	go s.watch()
+	return s, nil
+}
+
+// ExecSite returns the execution machine's address.
+func (s *Shadow) ExecSite() string { return s.execSite }
+
+// JobID returns the job this shadow serves.
+func (s *Shadow) JobID() string { return s.jobID }
+
+// Stats returns the local-support counters.
+func (s *Shadow) Stats() ShadowStats {
+	return ShadowStats{
+		Syscalls:        s.syscalls.Load(),
+		SyscallBytes:    s.sysBytes.Load(),
+		CheckpointsIn:   s.ckptsIn.Load(),
+		CheckpointBytes: s.ckptBytes.Load(),
+	}
+}
+
+// Close tears the connection down (used when removing a job).
+func (s *Shadow) Close() {
+	s.peer.Close()
+	<-s.closed
+}
+
+// watch turns an unexpected connection loss into a JobLost event.
+func (s *Shadow) watch() {
+	defer close(s.closed)
+	<-s.peer.Done()
+	s.mu.Lock()
+	terminal := s.terminal
+	s.mu.Unlock()
+	if !terminal {
+		err := s.peer.Err()
+		if err == nil {
+			err = errors.New("connection closed")
+		}
+		s.events.JobLost(s.jobID, err)
+	}
+}
+
+func (s *Shadow) markTerminal() {
+	s.mu.Lock()
+	s.terminal = true
+	s.mu.Unlock()
+}
+
+// handle serves the executor's requests and notices.
+func (s *Shadow) handle(msg any) (any, error) {
+	switch m := msg.(type) {
+	case proto.SyscallMsg:
+		s.syscalls.Add(1)
+		s.sysBytes.Add(int64(len(m.Req.Data)))
+		rep, err := s.handler.Syscall(m.Req)
+		if err != nil {
+			return nil, err
+		}
+		s.sysBytes.Add(int64(len(rep.Data)))
+		return proto.SyscallReplyMsg{Rep: rep}, nil
+	case proto.JobDoneMsg:
+		s.markTerminal()
+		s.events.JobDone(m)
+		return proto.Ack{}, nil
+	case proto.JobVacatedMsg:
+		s.ckptsIn.Add(1)
+		s.ckptBytes.Add(int64(len(m.Checkpoint)))
+		s.markTerminal()
+		s.events.JobVacated(m)
+		return proto.Ack{}, nil
+	case proto.JobCheckpointMsg:
+		s.ckptsIn.Add(1)
+		s.ckptBytes.Add(int64(len(m.Checkpoint)))
+		s.events.JobCheckpointed(m)
+		return proto.Ack{}, nil
+	case proto.JobSuspendedMsg:
+		s.events.JobSuspended(m.JobID)
+		return proto.Ack{}, nil
+	case proto.JobResumedMsg:
+		s.events.JobResumed(m.JobID)
+		return proto.Ack{}, nil
+	default:
+		return nil, fmt.Errorf("ru: shadow got unexpected %T", msg)
+	}
+}

@@ -1,0 +1,23 @@
+// Package schedd implements the per-workstation Condor daemon: the local
+// scheduler and background job queue of §2.1, fused with the execution
+// side (the starter) since every workstation is both a submitter and a
+// potential cycle server.
+//
+// The division of labour follows the paper's hybrid structure exactly:
+//
+//   - The station owns its queue. Jobs are submitted here, live here, and
+//     the station alone decides which of its queued jobs runs when the
+//     coordinator grants it a machine.
+//   - The coordinator (internal/coordinator) only hands out capacity. It
+//     polls the station every 2 minutes via PollRequest, and awards
+//     machines via GrantRequest.
+//   - When a job must leave an execution site (owner returned, priority
+//     preemption, site crash) its checkpoint returns to this station's
+//     checkpoint store and the job goes back to the queue — so "the job
+//     will eventually complete, and very little, if any, work will be
+//     performed more than once."
+//
+// The checkpoint store doubles as the disk-space model of §4: when it
+// fills, new submissions are refused and the station reports no free
+// disk to the coordinator.
+package schedd

@@ -1,0 +1,113 @@
+package schedd
+
+import (
+	"fmt"
+
+	"condor/internal/ckpt"
+	"condor/internal/eventlog"
+	"condor/internal/proto"
+	"condor/internal/ru"
+)
+
+// jobEvents routes one job's shadow events back into the station.
+type jobEvents struct {
+	station *Station
+	jobID   string
+}
+
+var _ ru.Events = (*jobEvents)(nil)
+
+// JobDone implements ru.Events.
+func (e *jobEvents) JobDone(msg proto.JobDoneMsg) {
+	st := e.station
+	st.mu.Lock()
+	j, ok := st.jobs[e.jobID]
+	if !ok {
+		st.mu.Unlock()
+		return
+	}
+	j.shadow = nil
+	j.status.CPUSteps = msg.Steps
+	if msg.Faulted {
+		j.status.State = proto.JobFaulted
+		j.status.FaultMsg = msg.FaultMsg
+	} else {
+		j.status.State = proto.JobCompleted
+		j.status.ExitCode = msg.ExitCode
+	}
+	status := st.statusLocked(j)
+	st.mu.Unlock()
+	// The checkpoint is no longer needed; release the disk (§4).
+	_ = st.cfg.Store.Delete(e.jobID)
+	if msg.Faulted {
+		st.logEvent(eventlog.KindFault, e.jobID, status.ExecHost, msg.FaultMsg)
+	} else {
+		st.logEvent(eventlog.KindComplete, e.jobID, status.ExecHost,
+			fmt.Sprintf("exit %d after %d steps", msg.ExitCode, msg.Steps))
+	}
+	st.notifyWaiters(e.jobID, status)
+}
+
+// JobVacated implements ru.Events: store the checkpoint and requeue.
+func (e *jobEvents) JobVacated(msg proto.JobVacatedMsg) {
+	e.storeCheckpoint(msg.Checkpoint)
+	st := e.station
+	st.mu.Lock()
+	if j, ok := st.jobs[e.jobID]; ok {
+		j.shadow = nil
+		j.status.State = proto.JobIdle
+		j.status.ExecHost = ""
+		j.status.CPUSteps = msg.Steps
+		j.status.Checkpoints++
+	}
+	st.mu.Unlock()
+	st.logEvent(eventlog.KindVacate, e.jobID, "", msg.Reason)
+}
+
+// JobCheckpointed implements ru.Events (periodic checkpoints).
+func (e *jobEvents) JobCheckpointed(msg proto.JobCheckpointMsg) {
+	e.storeCheckpoint(msg.Checkpoint)
+	st := e.station
+	st.mu.Lock()
+	if j, ok := st.jobs[e.jobID]; ok {
+		j.status.CPUSteps = msg.Steps
+		j.status.Checkpoints++
+	}
+	st.mu.Unlock()
+	st.logEvent(eventlog.KindCheckpoint, e.jobID, "", "periodic")
+}
+
+func (e *jobEvents) storeCheckpoint(blob []byte) {
+	meta, img, err := ckpt.DecodeBytes(blob)
+	if err != nil {
+		return // corrupt checkpoint: keep the previous one
+	}
+	_ = e.station.cfg.Store.Put(meta, img)
+}
+
+// JobSuspended implements ru.Events.
+func (e *jobEvents) JobSuspended(jobID string) {
+	e.station.setJobState(jobID, proto.JobSuspendedState)
+	e.station.logEvent(eventlog.KindSuspend, jobID, "", "owner returned at exec site")
+}
+
+// JobResumed implements ru.Events.
+func (e *jobEvents) JobResumed(jobID string) {
+	e.station.setJobState(jobID, proto.JobRunning)
+	e.station.logEvent(eventlog.KindResume, jobID, "", "owner left within grace")
+}
+
+// JobLost implements ru.Events: the execution site died without shipping
+// a checkpoint. Requeue from the last stored checkpoint — this is the
+// paper's guarantee that remote failures cannot lose the job.
+func (e *jobEvents) JobLost(jobID string, err error) {
+	st := e.station
+	st.mu.Lock()
+	if j, ok := st.jobs[jobID]; ok && !j.status.State.Terminal() {
+		j.shadow = nil
+		j.status.State = proto.JobIdle
+		j.status.ExecHost = ""
+	}
+	st.mu.Unlock()
+	st.logEvent(eventlog.KindLost, jobID, "", err.Error())
+}

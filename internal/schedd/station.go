@@ -1,0 +1,561 @@
+package schedd
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"condor/internal/ckpt"
+	"condor/internal/cvm"
+	"condor/internal/eventlog"
+	"condor/internal/machine"
+	"condor/internal/proto"
+	"condor/internal/ru"
+	"condor/internal/wire"
+)
+
+// Station-level errors.
+var (
+	// ErrQueueClosed is returned for operations on a closed station.
+	ErrQueueClosed = errors.New("schedd: station closed")
+	// ErrNoSuchJob is returned when a job id is unknown.
+	ErrNoSuchJob = errors.New("schedd: no such job")
+	// ErrDiskFull wraps ckpt.ErrDiskFull for submissions that do not fit.
+	ErrDiskFull = ckpt.ErrDiskFull
+)
+
+// HostFactory builds the syscall handler (the "files of the submitting
+// machine") for one job. The default gives every job a private in-memory
+// filesystem.
+type HostFactory func(jobID, owner string) cvm.SyscallHandler
+
+// StdoutReader is implemented by hosts that can report what the job
+// printed (cvm.MemHost does); the station surfaces it in JobStatus.
+type StdoutReader interface {
+	Stdout() string
+}
+
+// Config parameterizes a station.
+type Config struct {
+	// Name is the workstation name (must be unique in the pool).
+	Name string
+	// ListenAddr is the bind address (default "127.0.0.1:0").
+	ListenAddr string
+	// Monitor reports the owner's activity; required.
+	Monitor machine.Monitor
+	// Store is the checkpoint store (default: unlimited in-memory with
+	// shared text segments, as §4 recommends).
+	Store ckpt.Store
+	// Hosts builds per-job syscall handlers (default: private MemHost).
+	Hosts HostFactory
+	// Starter configures the execution side. Name and Monitor are filled
+	// in from the station.
+	Starter ru.StarterConfig
+	// PlacementPacing is the minimum gap between two placements from
+	// this station (paper: one per 2 minutes, §4).
+	PlacementPacing time.Duration
+	// DialTimeout bounds outbound connections.
+	DialTimeout time.Duration
+	// PlacementHeartbeat probes execution machines hosting this
+	// station's jobs (default 15s; negative disables).
+	PlacementHeartbeat time.Duration
+	// WaitTimeout bounds a WaitRequest (default 10 minutes).
+	WaitTimeout time.Duration
+}
+
+func (c *Config) sanitize() error {
+	if c.Name == "" {
+		return errors.New("schedd: station needs a name")
+	}
+	if c.Monitor == nil {
+		return fmt.Errorf("schedd: station %q needs a monitor", c.Name)
+	}
+	if c.ListenAddr == "" {
+		c.ListenAddr = "127.0.0.1:0"
+	}
+	if c.Store == nil {
+		c.Store = ckpt.NewMemStore(0, true)
+	}
+	if c.Hosts == nil {
+		c.Hosts = func(jobID, owner string) cvm.SyscallHandler { return cvm.NewMemHost() }
+	}
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 5 * time.Second
+	}
+	if c.PlacementHeartbeat == 0 {
+		c.PlacementHeartbeat = 15 * time.Second
+	}
+	if c.PlacementHeartbeat < 0 {
+		c.PlacementHeartbeat = 0
+	}
+	if c.WaitTimeout <= 0 {
+		c.WaitTimeout = 10 * time.Minute
+	}
+	return nil
+}
+
+// job is one queue entry.
+type job struct {
+	status     proto.JobStatus
+	program    *cvm.Program
+	stackWords int
+	host       cvm.SyscallHandler
+	shadow     *ru.Shadow
+	// seq is the checkpoint sequence counter.
+	seq uint64
+}
+
+// Station is the per-workstation daemon.
+type Station struct {
+	cfg     Config
+	server  *wire.Server
+	starter *ru.Starter
+	tracker *machine.Tracker
+	events  *eventlog.Log
+
+	mu            sync.Mutex
+	jobs          map[string]*job
+	order         []string // submission order (local FIFO priority)
+	nextNum       int
+	lastPlacement time.Time
+	lastPolled    time.Time
+	closed        bool
+
+	waiters map[string][]chan proto.JobStatus
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// New creates and starts a station: its wire server, its starter (so the
+// machine can host foreign jobs), and its availability tracker.
+func New(cfg Config) (*Station, error) {
+	if err := cfg.sanitize(); err != nil {
+		return nil, err
+	}
+	st := &Station{
+		cfg:     cfg,
+		jobs:    make(map[string]*job),
+		waiters: make(map[string][]chan proto.JobStatus),
+		events:  eventlog.New(eventlog.DefaultCapacity),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	starterCfg := cfg.Starter
+	starterCfg.Name = cfg.Name
+	starterCfg.Monitor = cfg.Monitor
+	starter, err := ru.NewStarter(starterCfg)
+	if err != nil {
+		return nil, err
+	}
+	st.starter = starter
+	server, err := wire.NewServer(cfg.ListenAddr, st.handlerFor)
+	if err != nil {
+		starter.Close()
+		return nil, err
+	}
+	st.server = server
+	st.tracker = machine.NewTracker(realClock{})
+	st.recoverJobs()
+	go st.trackLoop()
+	return st, nil
+}
+
+// recoverJobs rebuilds the queue from checkpoints found in the store —
+// the submitter-reboot half of the completion guarantee: with a durable
+// store (ckpt.DirStore), a machine crash on the *submitting* side loses
+// no queued or checkpointed work either.
+func (st *Station) recoverJobs() {
+	prefix := st.cfg.Name + "/"
+	maxNum := 0
+	for _, meta := range st.cfg.Store.List() {
+		if !strings.HasPrefix(meta.JobID, prefix) {
+			continue // a foreign job's checkpoint; not ours to queue
+		}
+		if n, err := strconv.Atoi(meta.JobID[len(prefix):]); err == nil && n > maxNum {
+			maxNum = n
+		}
+		j := &job{
+			status: proto.JobStatus{
+				ID:          meta.JobID,
+				Owner:       meta.Owner,
+				Program:     meta.ProgramName,
+				State:       proto.JobIdle,
+				SubmittedAt: time.Now(),
+				CPUSteps:    meta.CPUSteps,
+				Checkpoints: int(meta.Sequence),
+			},
+			host: st.cfg.Hosts(meta.JobID, meta.Owner),
+		}
+		st.jobs[meta.JobID] = j
+		st.order = append(st.order, meta.JobID)
+		st.logEvent(eventlog.KindSubmit, meta.JobID, st.cfg.Name,
+			fmt.Sprintf("recovered from checkpoint (seq %d)", meta.Sequence))
+	}
+	if st.nextNum < maxNum {
+		st.nextNum = maxNum
+	}
+}
+
+type realClock struct{}
+
+// Now implements sim.Clock.
+func (realClock) Now() time.Time { return time.Now() }
+
+// Name returns the station name.
+func (st *Station) Name() string { return st.cfg.Name }
+
+// Addr returns the station's listen address.
+func (st *Station) Addr() string { return st.server.Addr() }
+
+// Starter exposes the execution side (for pool wiring and tests).
+func (st *Station) Starter() *ru.Starter { return st.starter }
+
+// Store exposes the checkpoint store (for disk accounting and tools).
+func (st *Station) Store() ckpt.Store { return st.cfg.Store }
+
+// Events exposes the station's event history.
+func (st *Station) Events() *eventlog.Log { return st.events }
+
+func (st *Station) logEvent(kind eventlog.Kind, jobID, station, detail string) {
+	st.events.Append(eventlog.Event{
+		Kind: kind, Job: jobID, Station: station, Detail: detail,
+	})
+}
+
+// Close shuts the station down.
+func (st *Station) Close() {
+	st.mu.Lock()
+	if st.closed {
+		st.mu.Unlock()
+		return
+	}
+	st.closed = true
+	shadows := make([]*ru.Shadow, 0, len(st.jobs))
+	for _, j := range st.jobs {
+		if j.shadow != nil {
+			shadows = append(shadows, j.shadow)
+		}
+	}
+	st.mu.Unlock()
+	close(st.stop)
+	<-st.done
+	for _, sh := range shadows {
+		sh.Close()
+	}
+	st.server.Close()
+	st.starter.Close()
+}
+
+// trackLoop feeds the availability tracker, mirroring the local
+// scheduler's ½-minute scan.
+func (st *Station) trackLoop() {
+	defer close(st.done)
+	interval := st.cfg.Starter.ScanInterval
+	if interval <= 0 {
+		interval = 30 * time.Second
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-st.stop:
+			return
+		case <-ticker.C:
+			st.tracker.Observe(!st.cfg.Monitor.OwnerActive())
+		}
+	}
+}
+
+// SubmitOptions tunes one submission.
+type SubmitOptions struct {
+	// StackWords overrides the VM's default stack size (0 = default).
+	StackWords int
+	// Priority orders the job in the local queue: higher runs first,
+	// ties break FIFO. The coordinator never sees priorities — which job
+	// a grant runs is the station's own decision (§2.1).
+	Priority int
+}
+
+// Submit queues a program for background execution and returns the job
+// id. It fails with ErrDiskFull when the checkpoint store cannot hold the
+// job's initial image (§4's disk-space limit on simultaneous jobs).
+func (st *Station) Submit(owner string, prog *cvm.Program, stackWords int) (string, error) {
+	return st.SubmitJob(owner, prog, SubmitOptions{StackWords: stackWords})
+}
+
+// SubmitJob is Submit with full options.
+func (st *Station) SubmitJob(owner string, prog *cvm.Program, opts SubmitOptions) (string, error) {
+	if prog == nil {
+		return "", errors.New("schedd: nil program")
+	}
+	if err := prog.Validate(); err != nil {
+		return "", err
+	}
+	st.mu.Lock()
+	if st.closed {
+		st.mu.Unlock()
+		return "", ErrQueueClosed
+	}
+	st.nextNum++
+	jobID := fmt.Sprintf("%s/%d", st.cfg.Name, st.nextNum)
+	st.mu.Unlock()
+
+	meta := ckpt.Meta{JobID: jobID, Owner: owner, ProgramName: prog.Name}
+	blob, err := ru.InitialCheckpoint(meta, prog, opts.StackWords)
+	if err != nil {
+		return "", err
+	}
+	_, img, err := ckpt.DecodeBytes(blob)
+	if err != nil {
+		return "", err
+	}
+	if err := st.cfg.Store.Put(meta, img); err != nil {
+		return "", fmt.Errorf("schedd: submit %s: %w", jobID, err)
+	}
+
+	j := &job{
+		status: proto.JobStatus{
+			ID:          jobID,
+			Owner:       owner,
+			Program:     prog.Name,
+			State:       proto.JobIdle,
+			SubmittedAt: time.Now(),
+			Priority:    opts.Priority,
+		},
+		program:    prog,
+		stackWords: opts.StackWords,
+		host:       st.cfg.Hosts(jobID, owner),
+	}
+	st.mu.Lock()
+	st.jobs[jobID] = j
+	st.order = append(st.order, jobID)
+	st.mu.Unlock()
+	st.logEvent(eventlog.KindSubmit, jobID, st.cfg.Name,
+		fmt.Sprintf("%s by %s (pri %d)", prog.Name, owner, opts.Priority))
+	return jobID, nil
+}
+
+// Job returns a job's status.
+func (st *Station) Job(jobID string) (proto.JobStatus, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	j, ok := st.jobs[jobID]
+	if !ok {
+		return proto.JobStatus{}, fmt.Errorf("%w: %s", ErrNoSuchJob, jobID)
+	}
+	return st.statusLocked(j), nil
+}
+
+func (st *Station) statusLocked(j *job) proto.JobStatus {
+	status := j.status
+	if r, ok := j.host.(StdoutReader); ok {
+		status.Stdout = r.Stdout()
+	}
+	return status
+}
+
+// Queue returns all jobs sorted by submission order.
+func (st *Station) Queue() []proto.JobStatus {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make([]proto.JobStatus, 0, len(st.order))
+	for _, id := range st.order {
+		if j, ok := st.jobs[id]; ok {
+			out = append(out, st.statusLocked(j))
+		}
+	}
+	return out
+}
+
+// WaitingJobs counts jobs wanting remote capacity.
+func (st *Station) WaitingJobs() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	n := 0
+	for _, j := range st.jobs {
+		if j.status.State == proto.JobIdle {
+			n++
+		}
+	}
+	return n
+}
+
+// Remove deletes a job; a running job's shadow connection is torn down,
+// which vacates the execution machine.
+func (st *Station) Remove(jobID string) bool {
+	st.mu.Lock()
+	j, ok := st.jobs[jobID]
+	if !ok {
+		st.mu.Unlock()
+		return false
+	}
+	shadow := j.shadow
+	j.shadow = nil
+	wasTerminal := j.status.State.Terminal()
+	if !wasTerminal {
+		j.status.State = proto.JobRemoved
+	}
+	status := st.statusLocked(j)
+	st.mu.Unlock()
+	if shadow != nil {
+		shadow.Close()
+	}
+	_ = st.cfg.Store.Delete(jobID)
+	if !wasTerminal {
+		st.logEvent(eventlog.KindRemove, jobID, st.cfg.Name, "")
+		st.notifyWaiters(jobID, status)
+	}
+	return true
+}
+
+// Wait blocks until the job reaches a terminal state or the timeout.
+func (st *Station) Wait(jobID string, timeout time.Duration) (proto.JobStatus, error) {
+	st.mu.Lock()
+	j, ok := st.jobs[jobID]
+	if !ok {
+		st.mu.Unlock()
+		return proto.JobStatus{}, fmt.Errorf("%w: %s", ErrNoSuchJob, jobID)
+	}
+	if j.status.State.Terminal() {
+		status := st.statusLocked(j)
+		st.mu.Unlock()
+		return status, nil
+	}
+	ch := make(chan proto.JobStatus, 1)
+	st.waiters[jobID] = append(st.waiters[jobID], ch)
+	st.mu.Unlock()
+	select {
+	case status := <-ch:
+		return status, nil
+	case <-time.After(timeout):
+		return st.Job(jobID)
+	case <-st.stop:
+		return proto.JobStatus{}, ErrQueueClosed
+	}
+}
+
+func (st *Station) notifyWaiters(jobID string, status proto.JobStatus) {
+	st.mu.Lock()
+	chans := st.waiters[jobID]
+	delete(st.waiters, jobID)
+	st.mu.Unlock()
+	for _, ch := range chans {
+		ch <- status
+	}
+}
+
+// State reports the station's scheduling state for coordinator polls.
+func (st *Station) State() proto.StationState {
+	if _, _, ok := st.starter.Running(); ok {
+		if st.starter.Suspended() {
+			return proto.StationSuspended
+		}
+		return proto.StationClaimed
+	}
+	if st.cfg.Monitor.OwnerActive() {
+		return proto.StationOwner
+	}
+	return proto.StationIdle
+}
+
+// diskFree reports remaining checkpoint-store space (MaxInt64 when
+// unlimited).
+func (st *Station) diskFree() int64 {
+	capacity := st.cfg.Store.Capacity()
+	if capacity <= 0 {
+		return int64(1) << 62
+	}
+	free := capacity - st.cfg.Store.Usage().Bytes
+	if free < 0 {
+		free = 0
+	}
+	return free
+}
+
+// nextIdleJobLocked picks the station's next job to place: highest
+// priority first, FIFO within a priority level (the local scheduler's
+// own policy, §2.1).
+func (st *Station) nextIdleJobLocked() (*job, bool) {
+	var best *job
+	for _, id := range st.order {
+		j, ok := st.jobs[id]
+		if !ok || j.status.State != proto.JobIdle {
+			continue
+		}
+		if best == nil || j.status.Priority > best.status.Priority {
+			best = j
+		}
+	}
+	return best, best != nil
+}
+
+// PlaceNext places the station's next idle job on the execution machine
+// at execAddr. It is called when the coordinator grants capacity.
+func (st *Station) PlaceNext(execName, execAddr string) (string, error) {
+	st.mu.Lock()
+	if st.closed {
+		st.mu.Unlock()
+		return "", ErrQueueClosed
+	}
+	if st.cfg.PlacementPacing > 0 && time.Since(st.lastPlacement) < st.cfg.PlacementPacing {
+		st.mu.Unlock()
+		return "", fmt.Errorf("schedd: placement pacing (next allowed in %v)",
+			st.cfg.PlacementPacing-time.Since(st.lastPlacement))
+	}
+	j, ok := st.nextIdleJobLocked()
+	if !ok {
+		st.mu.Unlock()
+		return "", errors.New("schedd: no idle jobs")
+	}
+	jobID := j.status.ID
+	owner := j.status.Owner
+	host := j.host
+	j.status.State = proto.JobPlacing
+	st.mu.Unlock()
+
+	meta, img, err := st.cfg.Store.Get(jobID)
+	if err != nil {
+		st.setJobState(jobID, proto.JobIdle)
+		return "", fmt.Errorf("schedd: checkpoint for %s: %w", jobID, err)
+	}
+	blob, err := ckpt.EncodeBytesWith(meta, img, ckpt.Options{Compress: true})
+	if err != nil {
+		st.setJobState(jobID, proto.JobIdle)
+		return "", err
+	}
+	shadow, err := ru.Place(execAddr, proto.PlaceRequest{
+		JobID:      jobID,
+		Owner:      owner,
+		HomeHost:   st.cfg.Name,
+		Checkpoint: blob,
+	}, host, &jobEvents{station: st, jobID: jobID}, ru.PlaceConfig{
+		DialTimeout: st.cfg.DialTimeout,
+		Heartbeat:   st.cfg.PlacementHeartbeat,
+	})
+	if err != nil {
+		st.setJobState(jobID, proto.JobIdle)
+		return "", err
+	}
+
+	st.mu.Lock()
+	j.shadow = shadow
+	j.status.State = proto.JobRunning
+	j.status.ExecHost = execName
+	j.status.Placements++
+	st.lastPlacement = time.Now()
+	st.mu.Unlock()
+	st.logEvent(eventlog.KindPlace, jobID, execName, "")
+	return jobID, nil
+}
+
+func (st *Station) setJobState(jobID string, state proto.JobState) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if j, ok := st.jobs[jobID]; ok {
+		j.status.State = state
+	}
+}

@@ -1,0 +1,536 @@
+package schedd
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"condor/internal/ckpt"
+	"condor/internal/cvm"
+	"condor/internal/eventlog"
+	"condor/internal/machine"
+	"condor/internal/proto"
+	"condor/internal/ru"
+)
+
+// newStation builds a fast-interval station for tests.
+func newStation(t *testing.T, name string, mon *machine.ScriptedMonitor, store ckpt.Store) *Station {
+	t.Helper()
+	if mon == nil {
+		mon = machine.NewScriptedMonitor(false)
+	}
+	st, err := New(Config{
+		Name:    name,
+		Monitor: mon,
+		Store:   store,
+		Starter: ru.StarterConfig{
+			ScanInterval:  5 * time.Millisecond,
+			SuspendGrace:  30 * time.Millisecond,
+			StepsPerSlice: 10_000,
+		},
+		DialTimeout: time.Second,
+		WaitTimeout: 10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(st.Close)
+	return st
+}
+
+func TestSubmitAndQueue(t *testing.T) {
+	st := newStation(t, "ws1", nil, nil)
+	id1, err := st.Submit("alice", cvm.SumProgram(10), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id2, err := st.Submit("bob", cvm.SumProgram(20), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id1 == id2 {
+		t.Fatal("duplicate job ids")
+	}
+	if !strings.HasPrefix(id1, "ws1/") {
+		t.Fatalf("job id %q lacks station prefix", id1)
+	}
+	q := st.Queue()
+	if len(q) != 2 || q[0].ID != id1 || q[1].ID != id2 {
+		t.Fatalf("queue = %+v", q)
+	}
+	if st.WaitingJobs() != 2 {
+		t.Fatalf("waiting = %d", st.WaitingJobs())
+	}
+	if q[0].State != proto.JobIdle || q[0].Owner != "alice" {
+		t.Fatalf("job status = %+v", q[0])
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	st := newStation(t, "ws1", nil, nil)
+	if _, err := st.Submit("a", nil, 0); err == nil {
+		t.Fatal("nil program accepted")
+	}
+	bad := &cvm.Program{Name: "bad"}
+	if _, err := st.Submit("a", bad, 0); err == nil {
+		t.Fatal("invalid program accepted")
+	}
+}
+
+func TestSubmitDiskFull(t *testing.T) {
+	store := ckpt.NewMemStore(2048, false) // tiny disk
+	st := newStation(t, "ws1", nil, store)
+	var sawFull bool
+	for i := 0; i < 50; i++ {
+		_, err := st.Submit("a", cvm.SumProgram(int64(i)), 0)
+		if err != nil {
+			if !errors.Is(err, ErrDiskFull) {
+				t.Fatalf("unexpected submit error: %v", err)
+			}
+			sawFull = true
+			break
+		}
+	}
+	if !sawFull {
+		t.Fatal("tiny store never filled — §4 disk limit not enforced")
+	}
+}
+
+func TestPlaceNextRunsJobRemotely(t *testing.T) {
+	// Two stations: ws1 submits, ws2 executes.
+	ws1 := newStation(t, "ws1", nil, nil)
+	ws2 := newStation(t, "ws2", nil, nil)
+	jobID, err := ws1.Submit("alice", cvm.SumProgram(5000), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	placed, err := ws1.PlaceNext("ws2", ws2.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if placed != jobID {
+		t.Fatalf("placed %q, want %q", placed, jobID)
+	}
+	status, err := ws1.Wait(jobID, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status.State != proto.JobCompleted || status.ExitCode != 0 {
+		t.Fatalf("status = %+v", status)
+	}
+	if strings.TrimSpace(status.Stdout) != "12502500" {
+		t.Fatalf("stdout = %q", status.Stdout)
+	}
+	if status.ExecHost != "ws2" {
+		t.Fatalf("exec host = %q", status.ExecHost)
+	}
+}
+
+func TestPlaceNextNoJobs(t *testing.T) {
+	ws1 := newStation(t, "ws1", nil, nil)
+	ws2 := newStation(t, "ws2", nil, nil)
+	if _, err := ws1.PlaceNext("ws2", ws2.Addr()); err == nil {
+		t.Fatal("placement with empty queue succeeded")
+	}
+}
+
+func TestPlacementPacing(t *testing.T) {
+	mon := machine.NewScriptedMonitor(false)
+	st, err := New(Config{
+		Name:            "ws1",
+		Monitor:         mon,
+		PlacementPacing: time.Hour,
+		Starter: ru.StarterConfig{
+			ScanInterval: 5 * time.Millisecond,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(st.Close)
+	ws2 := newStation(t, "ws2", nil, nil)
+	ws3 := newStation(t, "ws3", nil, nil)
+	if _, err := st.Submit("a", cvm.SumProgram(10), 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Submit("a", cvm.SumProgram(20), 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.PlaceNext("ws2", ws2.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.PlaceNext("ws3", ws3.Addr()); err == nil ||
+		!strings.Contains(err.Error(), "pacing") {
+		t.Fatalf("second immediate placement: err = %v, want pacing refusal", err)
+	}
+}
+
+func TestLocalPriorityIsFIFO(t *testing.T) {
+	ws1 := newStation(t, "ws1", nil, nil)
+	ws2 := newStation(t, "ws2", nil, nil)
+	first, _ := ws1.Submit("a", cvm.SumProgram(100_000), 0)
+	if _, err := ws1.Submit("a", cvm.SumProgram(200_000), 0); err != nil {
+		t.Fatal(err)
+	}
+	placed, err := ws1.PlaceNext("ws2", ws2.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if placed != first {
+		t.Fatalf("placed %q, want FIFO head %q", placed, first)
+	}
+}
+
+func TestVacatedJobRequeuesWithCheckpoint(t *testing.T) {
+	ws1 := newStation(t, "ws1", nil, nil)
+	execMon := machine.NewScriptedMonitor(false)
+	ws2, err := New(Config{
+		Name:    "ws2",
+		Monitor: execMon,
+		Starter: ru.StarterConfig{
+			ScanInterval:  2 * time.Millisecond,
+			SuspendGrace:  5 * time.Millisecond,
+			StepsPerSlice: 2_000,
+			SliceDelay:    time.Millisecond,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(ws2.Close)
+
+	jobID, err := ws1.Submit("alice", cvm.SumProgram(3_000_000), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ws1.PlaceNext("ws2", ws2.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond) // make progress
+	execMon.SetActive(true)           // owner returns on ws2
+
+	deadline := time.Now().Add(5 * time.Second)
+	var status proto.JobStatus
+	for {
+		status, err = ws1.Job(jobID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if status.State == proto.JobIdle {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never requeued; status = %+v", status)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if status.Checkpoints == 0 {
+		t.Fatal("requeued without recording a checkpoint")
+	}
+	if status.CPUSteps == 0 {
+		t.Fatal("checkpoint shows zero progress")
+	}
+	// Re-place on a third machine; it must finish with the right answer.
+	ws3 := newStation(t, "ws3", nil, nil)
+	if _, err := ws1.PlaceNext("ws3", ws3.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	final, err := ws1.Wait(jobID, 20*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != proto.JobCompleted {
+		t.Fatalf("final = %+v", final)
+	}
+	if strings.TrimSpace(final.Stdout) != "4500001500000" {
+		t.Fatalf("stdout = %q", final.Stdout)
+	}
+	if final.CPUSteps <= status.CPUSteps {
+		t.Fatal("no progress preserved across migration")
+	}
+}
+
+func TestJobLostOnExecCrashRequeues(t *testing.T) {
+	ws1 := newStation(t, "ws1", nil, nil)
+	ws2 := newStation(t, "ws2", nil, nil)
+	jobID, err := ws1.Submit("a", cvm.SumProgram(50_000_000), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ws1.PlaceNext("ws2", ws2.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	ws2.Close() // exec machine "crashes"
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		status, err := ws1.Job(jobID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if status.State == proto.JobIdle {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("lost job never requeued: %+v", status)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestRemoveRunningJob(t *testing.T) {
+	ws1 := newStation(t, "ws1", nil, nil)
+	ws2 := newStation(t, "ws2", nil, nil)
+	jobID, _ := ws1.Submit("a", cvm.SumProgram(100_000_000), 0)
+	if _, err := ws1.PlaceNext("ws2", ws2.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	if !ws1.Remove(jobID) {
+		t.Fatal("remove refused")
+	}
+	status, err := ws1.Job(jobID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status.State != proto.JobRemoved {
+		t.Fatalf("state = %v", status.State)
+	}
+	// The execution machine frees up.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, _, ok := ws2.Starter().Running(); !ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("exec machine still claimed after remove")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if ws1.Remove("ws1/999") {
+		t.Fatal("removing unknown job reported success")
+	}
+}
+
+func TestStationState(t *testing.T) {
+	mon := machine.NewScriptedMonitor(false)
+	st := newStation(t, "ws1", mon, nil)
+	if got := st.State(); got != proto.StationIdle {
+		t.Fatalf("state = %v, want idle", got)
+	}
+	mon.SetActive(true)
+	if got := st.State(); got != proto.StationOwner {
+		t.Fatalf("state = %v, want owner", got)
+	}
+}
+
+func TestWaitTimesOutWithCurrentStatus(t *testing.T) {
+	st := newStation(t, "ws1", nil, nil)
+	jobID, _ := st.Submit("a", cvm.SumProgram(10), 0)
+	status, err := st.Wait(jobID, 20*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status.State != proto.JobIdle {
+		t.Fatalf("state = %v, want idle (never placed)", status.State)
+	}
+}
+
+func TestWaitUnknownJob(t *testing.T) {
+	st := newStation(t, "ws1", nil, nil)
+	if _, err := st.Wait("nope", time.Second); !errors.Is(err, ErrNoSuchJob) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := st.Job("nope"); !errors.Is(err, ErrNoSuchJob) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestHomeStationOf(t *testing.T) {
+	for in, want := range map[string]string{
+		"ws1/5":    "ws1",
+		"a/b/9":    "a/b",
+		"noslash":  "noslash",
+		"ws-2/123": "ws-2",
+	} {
+		if got := homeStationOf(in); got != want {
+			t.Fatalf("homeStationOf(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("station without name accepted")
+	}
+	if _, err := New(Config{Name: "x"}); err == nil {
+		t.Fatal("station without monitor accepted")
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	st := newStation(t, "ws1", nil, nil)
+	st.Close()
+	st.Close() // second close must not panic
+	if _, err := st.Submit("a", cvm.SumProgram(1), 0); !errors.Is(err, ErrQueueClosed) {
+		t.Fatalf("submit after close: %v", err)
+	}
+}
+
+func TestPriorityOrdersLocalQueue(t *testing.T) {
+	ws1 := newStation(t, "ws1", nil, nil)
+	ws2 := newStation(t, "ws2", nil, nil)
+	low, err := ws1.SubmitJob("a", cvm.SumProgram(100), SubmitOptions{Priority: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := ws1.SubmitJob("a", cvm.SumProgram(200), SubmitOptions{Priority: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid, err := ws1.SubmitJob("a", cvm.SumProgram(300), SubmitOptions{Priority: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	placed, err := ws1.PlaceNext("ws2", ws2.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if placed != high {
+		t.Fatalf("placed %q, want highest-priority %q", placed, high)
+	}
+	if _, err := ws1.Wait(high, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	placed, err = ws1.PlaceNext("ws2", ws2.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if placed != mid {
+		t.Fatalf("second placement %q, want %q", placed, mid)
+	}
+	_ = low
+}
+
+func TestPriorityTieBreaksFIFO(t *testing.T) {
+	ws1 := newStation(t, "ws1", nil, nil)
+	ws2 := newStation(t, "ws2", nil, nil)
+	first, _ := ws1.SubmitJob("a", cvm.SumProgram(100), SubmitOptions{Priority: 3})
+	if _, err := ws1.SubmitJob("a", cvm.SumProgram(200), SubmitOptions{Priority: 3}); err != nil {
+		t.Fatal(err)
+	}
+	placed, err := ws1.PlaceNext("ws2", ws2.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if placed != first {
+		t.Fatalf("placed %q, want FIFO-first %q at equal priority", placed, first)
+	}
+}
+
+func TestEventLogRecordsJobLifecycle(t *testing.T) {
+	ws1 := newStation(t, "ws1", nil, nil)
+	ws2 := newStation(t, "ws2", nil, nil)
+	jobID, err := ws1.Submit("alice", cvm.SumProgram(5000), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ws1.PlaceNext("ws2", ws2.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ws1.Wait(jobID, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	trail := ws1.Events().ForJob(jobID)
+	kinds := make([]eventlog.Kind, 0, len(trail))
+	for _, e := range trail {
+		kinds = append(kinds, e.Kind)
+	}
+	want := []eventlog.Kind{eventlog.KindSubmit, eventlog.KindPlace, eventlog.KindComplete}
+	if len(kinds) != len(want) {
+		t.Fatalf("trail = %v, want %v", kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("trail[%d] = %v, want %v (full: %v)", i, kinds[i], want[i], kinds)
+		}
+	}
+}
+
+func TestQueueRecoveryFromDurableStore(t *testing.T) {
+	dir := t.TempDir()
+	store1, err := ckpt.NewDirStore(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws1 := newStation(t, "ws1", nil, store1)
+	idA, err := ws1.Submit("alice", cvm.SumProgram(5000), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idB, err := ws1.Submit("bob", cvm.SumProgram(100_000), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws1.Close() // submitter machine "reboots"
+
+	store2, err := ckpt.NewDirStore(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws1b := newStation(t, "ws1", nil, store2)
+	q := ws1b.Queue()
+	if len(q) != 2 {
+		t.Fatalf("recovered queue = %+v", q)
+	}
+	ids := map[string]bool{q[0].ID: true, q[1].ID: true}
+	if !ids[idA] || !ids[idB] {
+		t.Fatalf("recovered ids %v, want %s and %s", ids, idA, idB)
+	}
+	// New submissions must not collide with recovered ids.
+	idC, err := ws1b.Submit("carol", cvm.SumProgram(10), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ids[idC] {
+		t.Fatalf("id collision: %s", idC)
+	}
+	// A recovered job runs to completion from its stored checkpoint.
+	ws2 := newStation(t, "ws2", nil, nil)
+	placed, err := ws1b.PlaceNext("ws2", ws2.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	status, err := ws1b.Wait(placed, 15*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status.State != proto.JobCompleted {
+		t.Fatalf("recovered job = %+v", status)
+	}
+}
+
+func TestRecoveryIgnoresForeignCheckpoints(t *testing.T) {
+	dir := t.TempDir()
+	store, err := ckpt.NewDirStore(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Plant a checkpoint belonging to another station.
+	img := makeStationImage(t)
+	if err := store.Put(ckpt.Meta{JobID: "other/7", Owner: "x"}, img); err != nil {
+		t.Fatal(err)
+	}
+	ws1 := newStation(t, "ws1", nil, store)
+	if q := ws1.Queue(); len(q) != 0 {
+		t.Fatalf("foreign checkpoint queued: %+v", q)
+	}
+}
+
+func makeStationImage(t *testing.T) *cvm.Image {
+	t.Helper()
+	v, err := cvm.New(cvm.SpinProgram(10), cvm.NewMemHost(), cvm.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v.Snapshot()
+}

@@ -1,0 +1,163 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterministic(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatalf("streams diverged at draw %d", i)
+		}
+	}
+}
+
+func TestDeriveIndependentButReproducible(t *testing.T) {
+	a1 := NewRNG(7).Derive()
+	a2 := NewRNG(7).Derive()
+	for i := 0; i < 100; i++ {
+		if a1.Float64() != a2.Float64() {
+			t.Fatalf("derived streams not reproducible at draw %d", i)
+		}
+	}
+	parent := NewRNG(7)
+	child := parent.Derive()
+	same := 0
+	for i := 0; i < 100; i++ {
+		if parent.Float64() == child.Float64() {
+			same++
+		}
+	}
+	if same > 5 {
+		t.Fatalf("parent and child streams look identical (%d/100 equal draws)", same)
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	g := NewRNG(1)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += g.Exp(5.0)
+	}
+	mean := sum / n
+	if math.Abs(mean-5.0) > 0.1 {
+		t.Fatalf("Exp(5) sample mean = %v, want ~5", mean)
+	}
+}
+
+func TestExpNonPositiveMean(t *testing.T) {
+	g := NewRNG(1)
+	if v := g.Exp(0); v != 0 {
+		t.Fatalf("Exp(0) = %v, want 0", v)
+	}
+	if v := g.Exp(-3); v != 0 {
+		t.Fatalf("Exp(-3) = %v, want 0", v)
+	}
+}
+
+func TestLogNormalMeanAndPositivity(t *testing.T) {
+	g := NewRNG(2)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		v := g.LogNormal(6.2, 1.0)
+		if v <= 0 {
+			t.Fatalf("LogNormal produced non-positive value %v", v)
+		}
+		sum += v
+	}
+	mean := sum / n
+	if math.Abs(mean-6.2) > 0.15 {
+		t.Fatalf("LogNormal(6.2, 1) sample mean = %v, want ~6.2", mean)
+	}
+}
+
+func TestLogNormalDegenerateCases(t *testing.T) {
+	g := NewRNG(3)
+	if v := g.LogNormal(0, 1); v != 0 {
+		t.Fatalf("LogNormal(0, 1) = %v, want 0", v)
+	}
+	if v := g.LogNormal(4, 0); v != 4 {
+		t.Fatalf("LogNormal(4, 0) = %v, want 4", v)
+	}
+}
+
+func TestHyperExpMean(t *testing.T) {
+	g := NewRNG(4)
+	const n = 300000
+	p, m1, m2 := 0.7, 1.0, 10.0
+	want := p*m1 + (1-p)*m2
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += g.HyperExp(p, m1, m2)
+	}
+	mean := sum / n
+	if math.Abs(mean-want) > 0.1 {
+		t.Fatalf("HyperExp mean = %v, want ~%v", mean, want)
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	g := NewRNG(5)
+	const n = 100000
+	sum := 0
+	for i := 0; i < n; i++ {
+		sum += g.Poisson(3.5)
+	}
+	mean := float64(sum) / n
+	if math.Abs(mean-3.5) > 0.1 {
+		t.Fatalf("Poisson(3.5) sample mean = %v, want ~3.5", mean)
+	}
+	if g.Poisson(0) != 0 {
+		t.Fatal("Poisson(0) should be 0")
+	}
+	if g.Poisson(-1) != 0 {
+		t.Fatal("Poisson(-1) should be 0")
+	}
+}
+
+func TestUniformBounds(t *testing.T) {
+	g := NewRNG(6)
+	f := func(seed int64) bool {
+		v := g.Uniform(2, 9)
+		return v >= 2 && v < 9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	if v := g.Uniform(5, 5); v != 5 {
+		t.Fatalf("Uniform(5,5) = %v, want 5", v)
+	}
+	if v := g.Uniform(5, 1); v != 5 {
+		t.Fatalf("Uniform(5,1) = %v, want lo", v)
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	g := NewRNG(7)
+	const n = 100000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if g.Bool(0.25) {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if math.Abs(frac-0.25) > 0.01 {
+		t.Fatalf("Bool(0.25) frequency = %v", frac)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	g := NewRNG(8)
+	for i := 0; i < 1000; i++ {
+		v := g.Intn(23)
+		if v < 0 || v >= 23 {
+			t.Fatalf("Intn(23) = %d out of range", v)
+		}
+	}
+}

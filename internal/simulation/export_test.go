@@ -1,0 +1,111 @@
+package simulation
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestWriteJSON(t *testing.T) {
+	rep := month(t)
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	for _, key := range []string{"users", "demandCdf", "hourly", "byDemand", "scalars"} {
+		if _, ok := decoded[key]; !ok {
+			t.Fatalf("export missing %q", key)
+		}
+	}
+	scalars, ok := decoded["scalars"].(map[string]any)
+	if !ok {
+		t.Fatal("scalars not an object")
+	}
+	if scalars["totalJobs"].(float64) != float64(rep.TotalJobs) {
+		t.Fatalf("totalJobs = %v", scalars["totalJobs"])
+	}
+	hourly := decoded["hourly"].(map[string]any)
+	if len(hourly["localUtil"].([]any)) != rep.LocalUtil.Len() {
+		t.Fatal("hourly series truncated")
+	}
+	// CDF must be monotone non-decreasing.
+	cdf := decoded["demandCdf"].(map[string]any)["cumFreq"].([]any)
+	prev := -1.0
+	for i, v := range cdf {
+		f := v.(float64)
+		if f < prev {
+			t.Fatalf("CDF decreases at %d", i)
+		}
+		prev = f
+	}
+}
+
+func TestWriteHourlyCSV(t *testing.T) {
+	rep := month(t)
+	var buf bytes.Buffer
+	if err := rep.WriteHourlyCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != rep.TotalQueue.Len()+1 {
+		t.Fatalf("csv rows = %d, want %d+header", len(lines), rep.TotalQueue.Len())
+	}
+	if !strings.HasPrefix(lines[0], "hour,time,total_queue") {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if cols := strings.Count(lines[1], ","); cols != 5 {
+		t.Fatalf("row has %d commas: %q", cols, lines[1])
+	}
+}
+
+func TestWriteByDemandCSV(t *testing.T) {
+	rep := month(t)
+	var buf bytes.Buffer
+	if err := rep.WriteByDemandCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) < 5 {
+		t.Fatalf("csv suspiciously short:\n%s", buf.String())
+	}
+	if !strings.Contains(lines[0], "leverage") {
+		t.Fatalf("header = %q", lines[0])
+	}
+}
+
+func TestRunManyAggregates(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Days = 4
+	cfg.DrainDays = 6
+	s := RunMany(cfg, []int64{1, 2, 3})
+	if s.Runs != 3 || !s.AllCompleted {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.LocalUtilPct.Mean <= 0 || s.Leverage.Mean <= 0 {
+		t.Fatalf("means zero: %+v", s)
+	}
+	if s.LocalUtilPct.Min > s.LocalUtilPct.Max {
+		t.Fatal("min/max inverted")
+	}
+	out := s.String()
+	for _, want := range []string{"leverage", "paper", "±"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("summary rendering missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestNewStatDegenerate(t *testing.T) {
+	if s := newStat(nil); s.Mean != 0 || s.Std != 0 {
+		t.Fatal("empty stat not zero")
+	}
+	s := newStat([]float64{5})
+	if s.Mean != 5 || s.Std != 0 || s.Min != 5 || s.Max != 5 {
+		t.Fatalf("single stat = %+v", s)
+	}
+}

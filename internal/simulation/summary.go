@@ -1,0 +1,129 @@
+package simulation
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Stat is a mean ± standard deviation over simulation runs.
+type Stat struct {
+	Mean float64 `json:"mean"`
+	Std  float64 `json:"std"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+}
+
+func newStat(values []float64) Stat {
+	if len(values) == 0 {
+		return Stat{}
+	}
+	var s Stat
+	s.Min, s.Max = values[0], values[0]
+	sum := 0.0
+	for _, v := range values {
+		sum += v
+		if v < s.Min {
+			s.Min = v
+		}
+		if v > s.Max {
+			s.Max = v
+		}
+	}
+	s.Mean = sum / float64(len(values))
+	if len(values) > 1 {
+		var ss float64
+		for _, v := range values {
+			d := v - s.Mean
+			ss += d * d
+		}
+		s.Std = math.Sqrt(ss / float64(len(values)-1))
+	}
+	return s
+}
+
+// String renders "mean ± std".
+func (s Stat) String() string {
+	return fmt.Sprintf("%.1f ± %.1f", s.Mean, s.Std)
+}
+
+// Summary aggregates headline metrics over several seeds, showing that
+// the reproduction's numbers are stable properties of the model, not
+// artifacts of one random draw.
+type Summary struct {
+	Runs           int  `json:"runs"`
+	AllCompleted   bool `json:"allCompleted"`
+	AvailableHours Stat `json:"availableHours"`
+	ConsumedHours  Stat `json:"consumedHours"`
+	LocalUtilPct   Stat `json:"localUtilPct"`
+	WaitRatioAll   Stat `json:"waitRatioAll"`
+	WaitRatioLight Stat `json:"waitRatioLight"`
+	Leverage       Stat `json:"leverage"`
+	ShortLeverage  Stat `json:"shortLeverage"`
+	CkptsPerJob    Stat `json:"ckptsPerJob"`
+	Preempts       Stat `json:"preempts"`
+	Vacates        Stat `json:"vacates"`
+}
+
+// RunMany executes the configuration once per seed and aggregates.
+func RunMany(cfg Config, seeds []int64) Summary {
+	n := len(seeds)
+	collect := make(map[string][]float64, 11)
+	add := func(key string, v float64) { collect[key] = append(collect[key], v) }
+	summary := Summary{Runs: n, AllCompleted: true}
+	for _, seed := range seeds {
+		c := cfg
+		c.Seed = seed
+		rep := Run(c)
+		if rep.CompletedJobs != rep.TotalJobs {
+			summary.AllCompleted = false
+		}
+		add("avail", rep.AvailableHours)
+		add("consumed", rep.ConsumedHours)
+		add("local", 100*rep.LocalUtilMean)
+		add("waitAll", rep.MeanWaitRatioAll)
+		add("waitLight", rep.MeanWaitRatioLight)
+		add("lev", rep.OverallLeverage)
+		add("slev", rep.ShortJobLeverage)
+		add("ckpts", rep.MeanCkptsPerJob)
+		add("preempts", float64(rep.Preempts))
+		add("vacates", float64(rep.Vacates))
+	}
+	summary.AvailableHours = newStat(collect["avail"])
+	summary.ConsumedHours = newStat(collect["consumed"])
+	summary.LocalUtilPct = newStat(collect["local"])
+	summary.WaitRatioAll = newStat(collect["waitAll"])
+	summary.WaitRatioLight = newStat(collect["waitLight"])
+	summary.Leverage = newStat(collect["lev"])
+	summary.ShortLeverage = newStat(collect["slev"])
+	summary.CkptsPerJob = newStat(collect["ckpts"])
+	summary.Preempts = newStat(collect["preempts"])
+	summary.Vacates = newStat(collect["vacates"])
+	return summary
+}
+
+// String renders the summary next to the paper's numbers.
+func (s Summary) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Across %d seeds (all jobs completed: %v):\n", s.Runs, s.AllCompleted)
+	rows := []struct {
+		name  string
+		stat  Stat
+		paper string
+	}{
+		{"available machine-hours", s.AvailableHours, "12438"},
+		{"consumed machine-hours", s.ConsumedHours, "4771"},
+		{"local utilization %", s.LocalUtilPct, "25"},
+		{"wait ratio (all)", s.WaitRatioAll, "heavy-dominated"},
+		{"wait ratio (light)", s.WaitRatioLight, "~0"},
+		{"leverage (overall)", s.Leverage, "~1300"},
+		{"leverage (<2h jobs)", s.ShortLeverage, "~600"},
+		{"checkpoints per job", s.CkptsPerJob, "-"},
+		{"preemptions", s.Preempts, "-"},
+		{"owner-return vacates", s.Vacates, "-"},
+	}
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-26s %-20s (paper: %s)\n", r.name, r.stat.String(), r.paper)
+	}
+	return b.String()
+}

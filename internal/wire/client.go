@@ -1,0 +1,299 @@
+package wire
+
+import (
+	"context"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Heartbeat frame types ride inside envelopes like any other message.
+// Registered here (an encoding registry is a sanctioned init use).
+func init() {
+	gob.Register(pingMsg{})
+	gob.Register(pongMsg{})
+}
+
+// RemoteError is a handler failure reported by the peer, as opposed to a
+// transport failure.
+type RemoteError struct {
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *RemoteError) Error() string { return "wire: remote: " + e.Msg }
+
+// Handler processes inbound requests and one-way notifications on a
+// peer's connection. For one-way messages the returned value is ignored.
+type Handler func(msg any) (any, error)
+
+// Peer runs both sides of the symmetric protocol on one connection: it
+// can issue requests (Call/Notify) and it dispatches the remote side's
+// requests to its Handler. A Peer owns one background reader goroutine,
+// stopped by Close.
+type Peer struct {
+	conn    *Conn
+	handler Handler
+
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]chan Envelope
+	closed  bool
+
+	done chan struct{}
+	// readErr records why the reader loop ended.
+	readErr error
+	// lastHeard is the last time any frame arrived (heartbeat liveness).
+	lastHeard time.Time
+}
+
+// NewPeer starts a peer on conn. handler may be nil if the local side
+// never serves requests (pure client).
+func NewPeer(conn *Conn, handler Handler) *Peer {
+	p := newStoppedPeer(conn, handler)
+	p.start()
+	return p
+}
+
+func newStoppedPeer(conn *Conn, handler Handler) *Peer {
+	return &Peer{
+		conn:    conn,
+		handler: handler,
+		pending: make(map[uint64]chan Envelope),
+		done:    make(chan struct{}),
+	}
+}
+
+func (p *Peer) start() { go p.readLoop() }
+
+// Dial connects to addr and returns a peer over the new connection.
+func Dial(addr string, timeout time.Duration, handler Handler) (*Peer, error) {
+	raw, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("wire: dial %s: %w", addr, err)
+	}
+	return NewPeer(NewConn(raw), handler), nil
+}
+
+// Close tears down the connection and fails all pending calls.
+func (p *Peer) Close() error {
+	err := p.conn.Close()
+	<-p.done
+	return err
+}
+
+// Done is closed when the reader loop exits (peer hung up or Close).
+func (p *Peer) Done() <-chan struct{} { return p.done }
+
+// Err returns the reason the reader loop ended, once Done is closed.
+func (p *Peer) Err() error {
+	select {
+	case <-p.done:
+		return p.readErr
+	default:
+		return nil
+	}
+}
+
+// RemoteAddr returns the peer's address.
+func (p *Peer) RemoteAddr() string { return p.conn.RemoteAddr() }
+
+func (p *Peer) readLoop() {
+	defer close(p.done)
+	for {
+		env, err := p.conn.Recv()
+		if err != nil {
+			p.failAll(err)
+			return
+		}
+		p.markHeard()
+		if p.handleHeartbeat(env) {
+			continue
+		}
+		switch env.Kind {
+		case KindReply:
+			p.mu.Lock()
+			ch, ok := p.pending[env.ID]
+			delete(p.pending, env.ID)
+			p.mu.Unlock()
+			if ok {
+				ch <- env
+			}
+		case KindRequest:
+			// Serve each request on its own goroutine so a slow handler
+			// (e.g. a long shadow I/O) does not stall unrelated traffic.
+			go p.serve(env)
+		case KindOneWay:
+			if p.handler != nil {
+				go p.handler(env.Msg) //nolint:errcheck // one-way: no reply channel
+			}
+		}
+	}
+}
+
+func (p *Peer) serve(env Envelope) {
+	reply := Envelope{ID: env.ID, Kind: KindReply}
+	if p.handler == nil {
+		reply.Err = "peer does not serve requests"
+	} else {
+		msg, err := p.handler(env.Msg)
+		if err != nil {
+			reply.Err = err.Error()
+		} else {
+			reply.Msg = msg
+		}
+	}
+	// A send failure means the connection is going down; the reader loop
+	// will observe it and fail all pending calls.
+	_ = p.conn.Send(reply)
+}
+
+func (p *Peer) failAll(err error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.closed = true
+	p.readErr = err
+	for id, ch := range p.pending {
+		ch <- Envelope{ID: id, Kind: KindReply, Err: ErrClosed.Error()}
+		delete(p.pending, id)
+	}
+}
+
+// Call sends msg as a request and waits for the matching reply or ctx
+// cancellation.
+func (p *Peer) Call(ctx context.Context, msg any) (any, error) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, ErrClosed
+	}
+	p.nextID++
+	id := p.nextID
+	ch := make(chan Envelope, 1)
+	p.pending[id] = ch
+	p.mu.Unlock()
+
+	if err := p.conn.Send(Envelope{ID: id, Kind: KindRequest, Msg: msg}); err != nil {
+		p.mu.Lock()
+		delete(p.pending, id)
+		p.mu.Unlock()
+		return nil, err
+	}
+	select {
+	case env := <-ch:
+		if env.Err != "" {
+			if env.Err == ErrClosed.Error() {
+				return nil, ErrClosed
+			}
+			return nil, &RemoteError{Msg: env.Err}
+		}
+		return env.Msg, nil
+	case <-ctx.Done():
+		p.mu.Lock()
+		delete(p.pending, id)
+		p.mu.Unlock()
+		return nil, ctx.Err()
+	}
+}
+
+// Notify sends a one-way message; no reply is expected.
+func (p *Peer) Notify(msg any) error {
+	p.mu.Lock()
+	closed := p.closed
+	p.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	return p.conn.Send(Envelope{Kind: KindOneWay, Msg: msg})
+}
+
+// Server accepts connections and runs a Peer for each.
+type Server struct {
+	listener net.Listener
+	// NewHandler builds the handler for one connection; it may capture
+	// per-connection state and receives the peer for calling back.
+	newHandler func(p *Peer) Handler
+
+	mu     sync.Mutex
+	peers  map[*Peer]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewServer listens on addr (e.g. "127.0.0.1:0").
+func NewServer(addr string, newHandler func(p *Peer) Handler) (*Server, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("wire: listen %s: %w", addr, err)
+	}
+	s := &Server{listener: l, newHandler: newHandler, peers: make(map[*Peer]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.listener.Addr().String() }
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		raw, err := s.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		conn := NewConn(raw)
+		// The handler may call back through the peer, so build the peer
+		// first and only then start its reader.
+		peer := newStoppedPeer(conn, nil)
+		if h := s.newHandler(peer); h != nil {
+			peer.handler = h
+		} else {
+			peer.handler = func(any) (any, error) {
+				return nil, errors.New("no handler")
+			}
+		}
+		peer.start()
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			peer.Close()
+			return
+		}
+		s.peers[peer] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			<-peer.Done()
+			s.mu.Lock()
+			delete(s.peers, peer)
+			s.mu.Unlock()
+		}()
+	}
+}
+
+// Close stops accepting and closes all live connections, waiting for
+// their reader loops to finish.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	peers := make([]*Peer, 0, len(s.peers))
+	for p := range s.peers {
+		peers = append(peers, p)
+	}
+	s.mu.Unlock()
+	err := s.listener.Close()
+	for _, p := range peers {
+		p.Close()
+	}
+	s.wg.Wait()
+	return err
+}

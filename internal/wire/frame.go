@@ -1,0 +1,121 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// MaxFrameBytes bounds a single message; larger frames indicate protocol
+// corruption (or a checkpoint that should have been chunked).
+const MaxFrameBytes = 64 << 20
+
+// Frame-level errors.
+var (
+	// ErrFrameTooLarge is returned when a peer announces an oversized frame.
+	ErrFrameTooLarge = errors.New("wire: frame exceeds maximum size")
+	// ErrClosed is returned for operations on a closed connection.
+	ErrClosed = errors.New("wire: connection closed")
+)
+
+// Kind distinguishes envelope roles on a connection.
+type Kind uint8
+
+// Envelope kinds.
+const (
+	KindRequest Kind = iota + 1
+	KindReply
+	KindOneWay
+	// KindPing and KindPong are internal heartbeat frames, consumed by
+	// the Peer and never delivered to application handlers.
+	KindPing
+	KindPong
+)
+
+// Envelope is one framed message. Msg carries a gob-registered concrete
+// type (see internal/proto).
+type Envelope struct {
+	ID   uint64
+	Kind Kind
+	// Err is set on replies when the handler failed; Msg may be nil then.
+	Err string
+	Msg any
+}
+
+// Conn wraps a net.Conn with framed gob envelopes. Reads and writes are
+// independently serialized, so one reader goroutine and many writers can
+// share a Conn.
+type Conn struct {
+	raw net.Conn
+
+	readMu  sync.Mutex
+	writeMu sync.Mutex
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// NewConn wraps raw.
+func NewConn(raw net.Conn) *Conn {
+	return &Conn{raw: raw}
+}
+
+// RemoteAddr returns the peer address.
+func (c *Conn) RemoteAddr() string { return c.raw.RemoteAddr().String() }
+
+// Close closes the underlying connection. Safe to call multiple times.
+func (c *Conn) Close() error {
+	c.closeOnce.Do(func() { c.closeErr = c.raw.Close() })
+	return c.closeErr
+}
+
+// Send writes one envelope.
+func (c *Conn) Send(env Envelope) error {
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(&env); err != nil {
+		return fmt.Errorf("wire: encode: %w", err)
+	}
+	if payload.Len() > MaxFrameBytes {
+		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, payload.Len())
+	}
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	var lenBuf [4]byte
+	binary.BigEndian.PutUint32(lenBuf[:], uint32(payload.Len()))
+	if _, err := c.raw.Write(lenBuf[:]); err != nil {
+		return fmt.Errorf("wire: write length: %w", err)
+	}
+	if _, err := c.raw.Write(payload.Bytes()); err != nil {
+		return fmt.Errorf("wire: write payload: %w", err)
+	}
+	return nil
+}
+
+// Recv reads one envelope, blocking until a frame arrives or the
+// connection fails.
+func (c *Conn) Recv() (Envelope, error) {
+	c.readMu.Lock()
+	defer c.readMu.Unlock()
+	var env Envelope
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(c.raw, lenBuf[:]); err != nil {
+		return env, fmt.Errorf("wire: read length: %w", err)
+	}
+	n := binary.BigEndian.Uint32(lenBuf[:])
+	if n > MaxFrameBytes {
+		return env, fmt.Errorf("%w: %d bytes announced", ErrFrameTooLarge, n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(c.raw, payload); err != nil {
+		return env, fmt.Errorf("wire: read payload: %w", err)
+	}
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&env); err != nil {
+		return env, fmt.Errorf("wire: decode: %w", err)
+	}
+	return env, nil
+}

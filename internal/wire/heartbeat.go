@@ -1,0 +1,115 @@
+package wire
+
+import (
+	"fmt"
+	"time"
+)
+
+// Heartbeats detect half-open connections: a powered-off peer whose TCP
+// endpoint never RSTs would otherwise leave a shadow waiting forever for
+// a JobDone that cannot come. Ping/pong frames are handled entirely
+// inside the Peer — application handlers never see them.
+
+// pingMsg and pongMsg are internal heartbeat frames.
+type pingMsg struct{ Seq uint64 }
+type pongMsg struct{ Seq uint64 }
+
+// Heartbeat configures liveness probing on a Peer.
+type Heartbeat struct {
+	// Interval between pings (0 disables heartbeats).
+	Interval time.Duration
+	// Timeout after a ping with no traffic before the connection is
+	// declared dead and closed (default 3×Interval).
+	Timeout time.Duration
+}
+
+func (h *Heartbeat) sanitize() {
+	if h.Interval > 0 && h.Timeout <= 0 {
+		h.Timeout = 3 * h.Interval
+	}
+}
+
+// DialHeartbeat is Dial plus a heartbeat: the returned peer pings the
+// remote side and closes (failing pending calls, firing Done) when the
+// remote stops answering.
+func DialHeartbeat(addr string, timeout time.Duration, handler Handler, hb Heartbeat) (*Peer, error) {
+	p, err := Dial(addr, timeout, handler)
+	if err != nil {
+		return nil, err
+	}
+	p.StartHeartbeat(hb)
+	return p, nil
+}
+
+// StartHeartbeat begins liveness probing on an existing peer. Calling it
+// with a zero interval is a no-op.
+func (p *Peer) StartHeartbeat(hb Heartbeat) {
+	hb.sanitize()
+	if hb.Interval <= 0 {
+		return
+	}
+	p.markHeard() // grace: measure staleness from heartbeat start
+	go p.heartbeatLoop(hb)
+}
+
+func (p *Peer) heartbeatLoop(hb Heartbeat) {
+	ticker := time.NewTicker(hb.Interval)
+	defer ticker.Stop()
+	var seq uint64
+	for {
+		select {
+		case <-p.done:
+			return
+		case <-ticker.C:
+			seq++
+			if err := p.conn.Send(Envelope{
+				ID:   seq,
+				Kind: KindPing,
+				Msg:  pingMsg{Seq: seq},
+			}); err != nil {
+				p.conn.Close()
+				return
+			}
+			// The reader loop records lastPong; check staleness.
+			p.mu.Lock()
+			last := p.lastHeard
+			p.mu.Unlock()
+			if time.Since(last) > hb.Timeout {
+				// Remote unresponsive: tear the connection down so the
+				// reader loop fails everything and Done fires.
+				p.conn.Close()
+				return
+			}
+		}
+	}
+}
+
+// markHeard stamps receipt of any frame (all traffic proves liveness).
+func (p *Peer) markHeard() {
+	p.mu.Lock()
+	p.lastHeard = time.Now()
+	p.mu.Unlock()
+}
+
+// handleHeartbeat processes ping/pong frames inside the reader loop; it
+// reports whether the envelope was a heartbeat frame.
+func (p *Peer) handleHeartbeat(env Envelope) bool {
+	switch env.Kind {
+	case KindPing:
+		// Answer immediately; failure will surface in the reader loop.
+		_ = p.conn.Send(Envelope{ID: env.ID, Kind: KindPong, Msg: pongMsg{Seq: env.ID}})
+		return true
+	case KindPong:
+		return true
+	default:
+		return false
+	}
+}
+
+// String renders heartbeat config for logs.
+func (h Heartbeat) String() string {
+	if h.Interval <= 0 {
+		return "heartbeat off"
+	}
+	return fmt.Sprintf("heartbeat every %v (timeout %v)", h.Interval, h.Timeout)
+}

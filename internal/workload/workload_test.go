@@ -1,0 +1,242 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"condor/internal/sim"
+)
+
+var start = time.Date(1987, time.November, 2, 0, 0, 0, 0, time.UTC)
+
+func generate(t *testing.T, seed int64) *Workload {
+	t.Helper()
+	return Generate(Config{Start: start}, sim.NewRNG(seed))
+}
+
+func TestTable1Population(t *testing.T) {
+	profiles := Table1Profiles()
+	if len(profiles) != 5 {
+		t.Fatalf("profiles = %d, want 5 users", len(profiles))
+	}
+	totalJobs := 0
+	var totalDemand float64
+	for _, p := range profiles {
+		totalJobs += p.Jobs
+		totalDemand += float64(p.Jobs) * p.MeanDemand.Hours()
+	}
+	if totalJobs != 918 {
+		t.Fatalf("total jobs = %d, want 918", totalJobs)
+	}
+	if math.Abs(totalDemand-4771) > 30 {
+		t.Fatalf("expected total demand = %.0f h, want ≈4771", totalDemand)
+	}
+	if !profiles[0].Heavy() {
+		t.Fatal("user A must be the heavy (feedback) user")
+	}
+	for _, p := range profiles[1:] {
+		if p.Heavy() {
+			t.Fatalf("user %s should be light", p.Name)
+		}
+	}
+}
+
+func TestGenerateCounts(t *testing.T) {
+	w := generate(t, 1)
+	if got := w.TotalJobs(); got != 918 {
+		t.Fatalf("generated jobs = %d, want 918", got)
+	}
+	// Open-loop users: B+C+D+E = 228 jobs.
+	if len(w.Open) != 228 {
+		t.Fatalf("open jobs = %d, want 228", len(w.Open))
+	}
+	if len(w.Feedback) != 1 || w.Feedback[0].User() != "A" {
+		t.Fatalf("feedback streams = %+v", w.Feedback)
+	}
+	if w.Feedback[0].Remaining() != 690 {
+		t.Fatalf("A remaining = %d, want 690", w.Feedback[0].Remaining())
+	}
+}
+
+func TestOpenArrivalsSortedAndInWindow(t *testing.T) {
+	w := generate(t, 2)
+	end := start.Add(30 * 24 * time.Hour)
+	for i, j := range w.Open {
+		if j.Submit.Before(start) || !j.Submit.Before(end) {
+			t.Fatalf("job %s arrives at %v outside window", j.ID, j.Submit)
+		}
+		if i > 0 && j.Submit.Before(w.Open[i-1].Submit) {
+			t.Fatalf("open arrivals not sorted at %d", i)
+		}
+	}
+}
+
+func TestDemandMeansMatchTable1(t *testing.T) {
+	// Aggregate over several seeds to tame sampling noise, then check
+	// each user's mean demand against Table 1 within 20%.
+	sum := map[string]float64{}
+	count := map[string]int{}
+	for seed := int64(0); seed < 8; seed++ {
+		w := Generate(Config{Start: start}, sim.NewRNG(seed))
+		for _, j := range w.Open {
+			sum[j.User] += j.Demand.Hours()
+			count[j.User]++
+		}
+		fs := w.Feedback[0]
+		for fs.Remaining() > 0 {
+			for _, j := range fs.Take(start, 0) {
+				sum[j.User] += j.Demand.Hours()
+				count[j.User]++
+			}
+		}
+	}
+	want := map[string]float64{"A": 6.2, "B": 2.5, "C": 2.6, "D": 0.7, "E": 1.7}
+	for user, mean := range want {
+		got := sum[user] / float64(count[user])
+		if math.Abs(got-mean)/mean > 0.20 {
+			t.Errorf("user %s mean demand = %.2f h, want ≈%.1f", user, got, mean)
+		}
+	}
+}
+
+func TestOverallMeanAndMedianMatchFigure2(t *testing.T) {
+	var demands []float64
+	for seed := int64(0); seed < 4; seed++ {
+		w := Generate(Config{Start: start}, sim.NewRNG(seed))
+		for _, j := range w.Open {
+			demands = append(demands, j.Demand.Hours())
+		}
+		fs := w.Feedback[0]
+		for fs.Remaining() > 0 {
+			for _, j := range fs.Take(start, 0) {
+				demands = append(demands, j.Demand.Hours())
+			}
+		}
+	}
+	mean := 0.0
+	for _, d := range demands {
+		mean += d
+	}
+	mean /= float64(len(demands))
+	if mean < 4.0 || mean > 6.5 {
+		t.Fatalf("overall mean demand = %.2f h, want ≈5.2", mean)
+	}
+	// Median below 3 h (Figure 2: "median service demand was less than
+	// 3 hours").
+	sorted := append([]float64(nil), demands...)
+	for i := range sorted {
+		for j := i + 1; j < len(sorted); j++ {
+			if sorted[j] < sorted[i] {
+				sorted[i], sorted[j] = sorted[j], sorted[i]
+			}
+		}
+	}
+	median := sorted[len(sorted)/2]
+	if median >= 3.0 {
+		t.Fatalf("median demand = %.2f h, want < 3 (shorter jobs more frequent)", median)
+	}
+	if median >= mean {
+		t.Fatal("median must sit below mean for a right-skewed demand distribution")
+	}
+}
+
+func TestFeedbackStreamMaintainsTarget(t *testing.T) {
+	w := generate(t, 3)
+	fs := w.Feedback[0]
+	// Queue empty: the stream must fill up to its target.
+	jobs := fs.Take(start, 0)
+	if len(jobs) < 20 {
+		t.Fatalf("first batch = %d jobs, want at least the batch size", len(jobs))
+	}
+	inSystem := len(jobs)
+	// At or above target: nothing.
+	if more := fs.Take(start, inSystem); more != nil {
+		t.Fatalf("stream submitted %d jobs while at target", len(more))
+	}
+	// Dips below target: tops up.
+	more := fs.Take(start.Add(time.Hour), 10)
+	if len(more) == 0 {
+		t.Fatal("stream did not top up after dipping below target")
+	}
+	total := len(jobs) + len(more)
+	for fs.Remaining() > 0 {
+		total += len(fs.Take(start, 0))
+	}
+	if total != 690 {
+		t.Fatalf("stream produced %d jobs total, want 690", total)
+	}
+	// Exhausted: no more.
+	if fs.Take(start, 0) != nil {
+		t.Fatal("exhausted stream still produced jobs")
+	}
+}
+
+func TestJobFieldsPopulated(t *testing.T) {
+	w := generate(t, 4)
+	seen := map[string]bool{}
+	check := func(j Job) {
+		if j.ID == "" || seen[j.ID] {
+			t.Fatalf("bad/duplicate id %q", j.ID)
+		}
+		seen[j.ID] = true
+		if j.Demand < time.Minute {
+			t.Fatalf("job %s demand %v below floor", j.ID, j.Demand)
+		}
+		if j.CheckpointBytes < 16*1024 {
+			t.Fatalf("job %s checkpoint %d below floor", j.ID, j.CheckpointBytes)
+		}
+		if j.SyscallRate < 0 {
+			t.Fatalf("job %s negative syscall rate", j.ID)
+		}
+	}
+	for _, j := range w.Open {
+		check(j)
+	}
+	for _, j := range w.Feedback[0].Take(start, 0) {
+		check(j)
+	}
+}
+
+func TestCheckpointSizeMeanNearHalfMB(t *testing.T) {
+	var total int64
+	var n int
+	for seed := int64(0); seed < 6; seed++ {
+		w := Generate(Config{Start: start}, sim.NewRNG(seed))
+		for _, j := range w.Open {
+			total += j.CheckpointBytes
+			n++
+		}
+	}
+	mean := float64(total) / float64(n)
+	half := float64(512 * 1024)
+	if mean < half*0.7 || mean > half*1.4 {
+		t.Fatalf("mean checkpoint = %.0f bytes, want ≈%.0f (½ MB)", mean, half)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, b := generate(t, 11), generate(t, 11)
+	if len(a.Open) != len(b.Open) {
+		t.Fatal("same seed produced different workloads")
+	}
+	for i := range a.Open {
+		if a.Open[i] != b.Open[i] {
+			t.Fatalf("job %d differs between identical seeds", i)
+		}
+	}
+}
+
+func TestLightBatchesLandInWorkHoursMostly(t *testing.T) {
+	w := generate(t, 5)
+	in := 0
+	for _, j := range w.Open {
+		if workHours(j.Submit) {
+			in++
+		}
+	}
+	frac := float64(in) / float64(len(w.Open))
+	if frac < 0.5 {
+		t.Fatalf("only %.0f%% of light arrivals in work hours", frac*100)
+	}
+}

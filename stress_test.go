@@ -1,0 +1,131 @@
+package condor
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestPoolStressChurn drives a live pool through sustained chaos:
+// concurrent submissions from several stations while owners flap on and
+// off their machines. Every job must still complete with the correct
+// answer — the paper's completion guarantee under churn, on the real
+// daemons rather than the simulator.
+func TestPoolStressChurn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test skipped in -short mode")
+	}
+	const (
+		stations    = 5
+		jobsPerHome = 6
+	)
+	pool, err := NewPool(PoolConfig{
+		Stations:      stations,
+		Fast:          true,
+		SliceDelay:    200 * time.Microsecond,
+		StepsPerSlice: 5_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	// Owner-flapping: random machines become busy and free again.
+	stopFlap := make(chan struct{})
+	var flapWG sync.WaitGroup
+	flapWG.Add(1)
+	go func() {
+		defer flapWG.Done()
+		rng := rand.New(rand.NewSource(7))
+		names := pool.StationNames()
+		for {
+			select {
+			case <-stopFlap:
+				for _, n := range names {
+					_ = pool.SetOwnerActive(n, false)
+				}
+				return
+			case <-time.After(time.Duration(5+rng.Intn(20)) * time.Millisecond):
+				name := names[rng.Intn(len(names))]
+				_ = pool.SetOwnerActive(name, rng.Intn(2) == 0)
+			}
+		}
+	}()
+
+	type expect struct {
+		jobID string
+		want  string
+	}
+	var (
+		mu      sync.Mutex
+		expects []expect
+	)
+	var subWG sync.WaitGroup
+	for s := 0; s < stations; s++ {
+		s := s
+		subWG.Add(1)
+		go func() {
+			defer subWG.Done()
+			for j := 0; j < jobsPerHome; j++ {
+				n := int64(400_000*(s+1) + j)
+				jobID, err := pool.Submit(fmt.Sprintf("ws%d", s), "stress", SumProgram(n))
+				if err != nil {
+					t.Errorf("submit ws%d: %v", s, err)
+					return
+				}
+				mu.Lock()
+				expects = append(expects, expect{jobID: jobID, want: fmt.Sprintf("%d", n*(n+1)/2)})
+				mu.Unlock()
+			}
+		}()
+	}
+	subWG.Wait()
+
+	// Let chaos reign for a while, then settle the owners so the tail of
+	// jobs can drain.
+	time.Sleep(400 * time.Millisecond)
+	close(stopFlap)
+	flapWG.Wait()
+
+	deadline := 90 * time.Second
+	for _, e := range expects {
+		status, err := pool.Wait(e.jobID, deadline)
+		if err != nil {
+			t.Fatalf("wait %s: %v", e.jobID, err)
+		}
+		if status.State != JobCompleted {
+			t.Fatalf("job %s = %v (%s)", e.jobID, status.State, status.FaultMsg)
+		}
+		got := trimmed(status.Stdout)
+		if got != e.want {
+			t.Fatalf("job %s answered %q, want %q (checkpoints=%d placements=%d)",
+				e.jobID, got, e.want, status.Checkpoints, status.Placements)
+		}
+	}
+
+	// The churn must have exercised the checkpoint path at least once
+	// across the fleet.
+	var totalCkpts, totalPlacements int
+	for _, e := range expects {
+		st, err := pool.Job(e.jobID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		totalCkpts += st.Checkpoints
+		totalPlacements += st.Placements
+	}
+	if totalCkpts == 0 {
+		t.Error("no checkpoints across the whole churn — flapping never interrupted a job")
+	}
+	t.Logf("stress: %d jobs completed, %d checkpoints, %d placements",
+		len(expects), totalCkpts, totalPlacements)
+}
+
+func trimmed(s string) string {
+	for len(s) > 0 && (s[len(s)-1] == '\n' || s[len(s)-1] == '\r') {
+		s = s[:len(s)-1]
+	}
+	return s
+}
