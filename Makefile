@@ -2,9 +2,12 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench sim examples clean
+.PHONY: all verify build vet test race bench sim examples clean
 
-all: build vet test
+all: verify
+
+# Full pre-merge gate: compile, lint, plain tests, and the race detector.
+verify: build vet test race
 
 build:
 	$(GO) build ./...

@@ -24,15 +24,17 @@ func main() {
 		grants  = flag.Int("grants-per-cycle", 1, "max placements per cycle (§4 pacing)")
 		history = flag.Bool("history-placement", false,
 			"prefer machines with long availability history (§5.1)")
+		rpcTimeout = flag.Duration("rpc-timeout", 0,
+			"end-to-end bound on one station RPC (0 = dial timeout + 10s)")
 	)
 	flag.Parse()
-	if err := run(*listen, *poll, *grants, *history); err != nil {
+	if err := run(*listen, *poll, *grants, *history, *rpcTimeout); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(listen string, poll time.Duration, grants int, history bool) error {
-	cfg := coordinator.Config{ListenAddr: listen, PollInterval: poll}
+func run(listen string, poll time.Duration, grants int, history bool, rpcTimeout time.Duration) error {
+	cfg := coordinator.Config{ListenAddr: listen, PollInterval: poll, RPCTimeout: rpcTimeout}
 	cfg.Policy = policy.DefaultConfig()
 	cfg.Policy.MaxGrantsPerCycle = grants
 	if history {

@@ -57,5 +57,8 @@ func run(coordAddr string) error {
 	fmt.Print(metrics.Table(
 		[]string{"Station", "State", "Waiting", "Running", "ForeignJob", "Index", "Polled"},
 		rows))
+	w := sr.Wire
+	fmt.Printf("\nwire: %d dials, %d reuses, %d reconnects, %d evictions, %d retries\n",
+		w.Dials, w.Reuses, w.Reconnects, w.Evictions, w.Retries)
 	return nil
 }

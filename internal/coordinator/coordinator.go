@@ -28,8 +28,19 @@ type Config struct {
 	ListenAddr string
 	// PollInterval is the station poll period (paper: 2 minutes).
 	PollInterval time.Duration
-	// DialTimeout bounds one station RPC.
+	// DialTimeout bounds one station TCP connect.
 	DialTimeout time.Duration
+	// RPCTimeout bounds one station RPC end-to-end, connection
+	// establishment included (default DialTimeout + 10s). It applies
+	// uniformly to polls, grants, preempts, and reservation enforcement.
+	RPCTimeout time.Duration
+	// IdleConnTimeout evicts pooled station connections unused this long
+	// (default 5 minutes; negative disables eviction).
+	IdleConnTimeout time.Duration
+	// DialPerRPC disables connection reuse, dialing every station fresh
+	// for each RPC — the pre-pool behaviour, kept for ablation
+	// benchmarks.
+	DialPerRPC bool
 	// Policy tunes allocation; zero value means policy.DefaultConfig.
 	Policy policy.Config
 	// UpDown tunes the fairness index; zero value means defaults.
@@ -49,14 +60,49 @@ func (c *Config) sanitize() {
 	if c.DialTimeout <= 0 {
 		c.DialTimeout = 5 * time.Second
 	}
+	if c.RPCTimeout <= 0 {
+		c.RPCTimeout = c.DialTimeout + 10*time.Second
+	}
+	if c.IdleConnTimeout == 0 {
+		c.IdleConnTimeout = 5 * time.Minute
+	}
 	if c.DeadAfter <= 0 {
 		c.DeadAfter = 5
 	}
-	if c.Policy.MaxGrantsPerCycle == 0 {
+	// Sanitize sub-configs field-by-field: a partially filled struct keeps
+	// every field the user set and defaults only the rest. (Replacing the
+	// whole struct when one sentinel field was zero used to clobber, e.g.,
+	// a configured MaxPreemptsPerCycle.) A fully zero struct still means
+	// "use the package defaults".
+	if c.Policy == (policy.Config{}) {
 		c.Policy = policy.DefaultConfig()
+	} else {
+		if c.Policy.MaxGrantsPerCycle <= 0 {
+			c.Policy.MaxGrantsPerCycle = 1
+		}
+		if c.Policy.MaxPreemptsPerCycle < 0 {
+			c.Policy.MaxPreemptsPerCycle = 0
+		}
+		if c.Policy.Placement == 0 {
+			c.Policy.Placement = policy.PlaceFirstFit
+		}
 	}
-	if c.UpDown.UpRate == 0 {
+	if c.UpDown == (updown.Config{}) {
 		c.UpDown = updown.DefaultConfig()
+	} else {
+		def := updown.DefaultConfig()
+		if c.UpDown.UpRate <= 0 {
+			c.UpDown.UpRate = def.UpRate
+		}
+		if c.UpDown.DownRate <= 0 {
+			c.UpDown.DownRate = def.DownRate
+		}
+		if c.UpDown.DecayRate < 0 {
+			c.UpDown.DecayRate = 0
+		}
+		if c.UpDown.MaxAbs <= 0 {
+			c.UpDown.MaxAbs = def.MaxAbs
+		}
 	}
 }
 
@@ -78,12 +124,23 @@ type Stats struct {
 	Grants     uint64
 	GrantsUsed uint64
 	Preempts   uint64
+	// Wire-client activity on the pooled station connections: fresh
+	// dials, calls served by a cached connection, dials replacing a dead
+	// one, idle evictions, and CallRetry re-attempts.
+	Dials      uint64
+	Reuses     uint64
+	Reconnects uint64
+	Evictions  uint64
+	Retries    uint64
 }
 
 // Coordinator is the central capacity allocator.
 type Coordinator struct {
 	cfg    Config
 	server *wire.Server
+	// pool caches one connection per station so the poll loop does not
+	// pay a dial per RPC (nil in DialPerRPC ablation mode).
+	pool   *wire.ClientPool
 	table  *updown.Table
 	events *eventlog.Log
 
@@ -109,8 +166,24 @@ func New(cfg Config) (*Coordinator, error) {
 		stop:         make(chan struct{}),
 		done:         make(chan struct{}),
 	}
-	server, err := wire.NewServer(cfg.ListenAddr, c.handlerFor)
+	if !cfg.DialPerRPC {
+		c.pool = wire.NewClientPool(wire.PoolConfig{
+			DialTimeout: cfg.DialTimeout,
+			// A frame that cannot complete within the RPC deadline would
+			// blow it anyway; fail the connection instead of wedging it.
+			WriteTimeout: cfg.RPCTimeout,
+			FrameTimeout: cfg.RPCTimeout,
+			IdleTimeout:  cfg.IdleConnTimeout,
+		})
+	}
+	server, err := wire.NewServerOpts(cfg.ListenAddr, wire.ServerOptions{
+		WriteTimeout: cfg.RPCTimeout,
+		FrameTimeout: cfg.RPCTimeout,
+	}, c.handlerFor)
 	if err != nil {
+		if c.pool != nil {
+			c.pool.Close()
+		}
 		return nil, err
 	}
 	c.server = server
@@ -121,18 +194,32 @@ func New(cfg Config) (*Coordinator, error) {
 // Addr returns the coordinator's listen address.
 func (c *Coordinator) Addr() string { return c.server.Addr() }
 
-// Close stops the poll loop and the server. Safe to call multiple times.
+// Close stops the poll loop, the server, and the station connection
+// pool. Safe to call multiple times.
 func (c *Coordinator) Close() {
 	c.closeOnce.Do(func() { close(c.stop) })
 	<-c.done
 	c.server.Close()
+	if c.pool != nil {
+		c.pool.Close()
+	}
 }
 
-// Stats returns a snapshot of the counters.
+// Stats returns a snapshot of the counters, wire-client activity
+// included.
 func (c *Coordinator) Stats() Stats {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.stats
+	out := c.stats
+	c.mu.Unlock()
+	if c.pool != nil {
+		ps := c.pool.Stats()
+		out.Dials = ps.Dials
+		out.Reuses = ps.Reuses
+		out.Reconnects = ps.Reconnects
+		out.Evictions = ps.Evictions
+		out.Retries = ps.Retries
+	}
+	return out
 }
 
 // Register adds a station directly (used by in-process pools; network
@@ -144,8 +231,13 @@ func (c *Coordinator) Register(name, addr string) {
 }
 
 func (c *Coordinator) registerLocked(name, addr string) {
-	if _, known := c.stations[name]; !known {
+	prev, known := c.stations[name]
+	if !known {
 		c.events.Append(eventlog.Event{Kind: eventlog.KindRegister, Station: name, Detail: addr})
+	} else if prev.addr != addr && c.pool != nil {
+		// The station came back at a new address; the cached connection
+		// to the old one is garbage.
+		c.pool.Invalidate(prev.addr)
 	}
 	c.stations[name] = &station{name: name, addr: addr, reachable: true}
 	c.table.Touch(name)
@@ -232,7 +324,17 @@ func (c *Coordinator) handlerFor(peer *wire.Peer) wire.Handler {
 			}
 			return proto.HistoryReply{Events: events}, nil
 		case proto.PoolStatusRequest:
-			return proto.PoolStatusReply{Stations: c.Stations()}, nil
+			stats := c.Stats()
+			return proto.PoolStatusReply{
+				Stations: c.Stations(),
+				Wire: proto.WireStats{
+					Dials:      stats.Dials,
+					Reuses:     stats.Reuses,
+					Reconnects: stats.Reconnects,
+					Evictions:  stats.Evictions,
+					Retries:    stats.Retries,
+				},
+			}, nil
 		default:
 			return nil, fmt.Errorf("coordinator: unexpected %T", msg)
 		}
@@ -267,47 +369,64 @@ func (c *Coordinator) Cycle() {
 	sort.Slice(targets, func(i, j int) bool { return targets[i].name < targets[j].name })
 
 	// Poll every station (§2.1: "every two minutes the central
-	// coordinator polls the stations").
+	// coordinator polls the stations"). Results carry the station's name
+	// and polled address, not the *station itself: registrations land
+	// while polls are in flight, so each result is re-resolved under the
+	// lock and dropped if the station vanished or re-registered at a
+	// different address in the meantime. (Writing through pre-poll
+	// pointers used to let a slow poll's failure unregister — and a
+	// stale success resurrect — a station that had just re-registered.)
 	type pollResult struct {
-		s     *station
+		name  string
+		addr  string
 		reply proto.PollReply
 		err   error
 	}
 	results := make([]pollResult, len(targets))
 	var wg sync.WaitGroup
 	for i, s := range targets {
-		i, s := i, s
+		i := i
+		name, addr := s.name, s.addr
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			reply, err := c.pollStation(s.addr)
-			results[i] = pollResult{s: s, reply: reply, err: err}
+			reply, err := c.pollStation(addr)
+			results[i] = pollResult{name: name, addr: addr, reply: reply, err: err}
 		}()
 	}
 	wg.Wait()
 
 	now := time.Now()
 	c.mu.Lock()
+	var invalidate []string
 	for _, r := range results {
+		s, ok := c.stations[r.name]
+		if !ok || s.addr != r.addr {
+			// The station unregistered or re-registered at a new address
+			// while this poll was in flight; the result describes a
+			// previous incarnation.
+			continue
+		}
 		if r.err != nil {
 			c.stats.PollFails++
-			r.s.failures++
-			r.s.reachable = false
-			if r.s.failures >= c.cfg.DeadAfter {
-				delete(c.stations, r.s.name)
-				c.table.Remove(r.s.name)
+			s.failures++
+			s.reachable = false
+			if s.failures >= c.cfg.DeadAfter {
+				delete(c.stations, s.name)
+				c.table.Remove(s.name)
+				invalidate = append(invalidate, s.addr)
 				c.events.Append(eventlog.Event{
-					Kind: eventlog.KindDead, Station: r.s.name,
-					Detail: fmt.Sprintf("%d consecutive poll failures", r.s.failures),
+					Kind: eventlog.KindDead, Station: s.name,
+					Detail: fmt.Sprintf("%d consecutive poll failures", s.failures),
 				})
 			}
 			continue
 		}
 		c.stats.Polls++
-		r.s.failures = 0
-		r.s.reachable = true
-		r.s.lastReply = r.reply
-		r.s.lastPoll = now
+		s.failures = 0
+		s.reachable = true
+		s.lastReply = r.reply
+		s.lastPoll = now
 	}
 
 	// Update Up-Down indexes from the fresh pool picture.
@@ -338,6 +457,13 @@ func (c *Coordinator) Cycle() {
 		addrs[s.name] = s.addr
 	}
 	c.mu.Unlock()
+
+	// Drop pooled connections to stations declared dead this cycle.
+	if c.pool != nil {
+		for _, addr := range invalidate {
+			c.pool.Invalidate(addr)
+		}
+	}
 
 	// Act.
 	for _, g := range decision.Grants {
@@ -372,7 +498,7 @@ func (c *Coordinator) Cycle() {
 			Kind: eventlog.KindPreempt, Job: p.JobID, Station: p.Exec,
 			Detail: fmt.Sprintf("%s outranks %s", p.Beneficiary, p.Victim),
 		})
-		_, _ = c.callStation(addrs[p.Exec], proto.PreemptRequest{
+		_, _ = c.callStationRetry(addrs[p.Exec], proto.PreemptRequest{
 			JobID:  p.JobID,
 			Reason: fmt.Sprintf("up-down: %s outranks %s", p.Beneficiary, p.Victim),
 		})
@@ -387,7 +513,7 @@ func (c *Coordinator) bump(f func(*Stats)) {
 }
 
 func (c *Coordinator) pollStation(addr string) (proto.PollReply, error) {
-	reply, err := c.callStation(addr, proto.PollRequest{})
+	reply, err := c.callStationRetry(addr, proto.PollRequest{})
 	if err != nil {
 		return proto.PollReply{}, err
 	}
@@ -398,21 +524,43 @@ func (c *Coordinator) pollStation(addr string) (proto.PollReply, error) {
 	return pr, nil
 }
 
-// callStation dials the station fresh for each RPC. Connection churn is
-// negligible at pool scale (the paper ran 23—40 stations) and keeps the
-// coordinator stateless across station restarts.
+// callStation issues one station RPC over the pooled connection,
+// bounded end-to-end by RPCTimeout. It never retries: use it for
+// requests that are not idempotent (grants — a grant whose reply was
+// lost may already have placed a job).
 func (c *Coordinator) callStation(addr string, msg any) (any, error) {
 	if addr == "" {
 		return nil, errors.New("coordinator: no address")
 	}
-	peer, err := wire.Dial(addr, c.cfg.DialTimeout, nil)
-	if err != nil {
-		return nil, err
-	}
-	defer peer.Close()
-	ctx, cancel := context.WithTimeout(context.Background(), c.cfg.DialTimeout+10*time.Second)
+	ctx, cancel := context.WithTimeout(context.Background(), c.cfg.RPCTimeout)
 	defer cancel()
-	return peer.Call(ctx, msg)
+	if c.pool == nil {
+		// DialPerRPC ablation mode: the pre-pool behaviour, one fresh
+		// connection per RPC.
+		peer, err := wire.Dial(addr, c.cfg.DialTimeout, nil)
+		if err != nil {
+			return nil, err
+		}
+		defer peer.Close()
+		return peer.Call(ctx, msg)
+	}
+	return c.pool.Call(ctx, addr, msg)
+}
+
+// callStationRetry is callStation under the pool's retry policy, for
+// idempotent requests (polls, preempts, reservation releases): a
+// transient transport fault is retried with backoff against a freshly
+// dialed connection, still within the RPCTimeout budget.
+func (c *Coordinator) callStationRetry(addr string, msg any) (any, error) {
+	if c.pool == nil {
+		return c.callStation(addr, msg)
+	}
+	if addr == "" {
+		return nil, errors.New("coordinator: no address")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), c.cfg.RPCTimeout)
+	defer cancel()
+	return c.pool.CallRetry(ctx, addr, msg)
 }
 
 // Index exposes a station's Up-Down index (for status and tests).

@@ -98,7 +98,7 @@ func (c *Coordinator) enforceReservations(addrs map[string]string) {
 	c.mu.Unlock()
 	for _, e := range evictions {
 		c.bump(func(st *Stats) { st.Preempts++ })
-		_, _ = c.callStation(e.addr, proto.PreemptRequest{
+		_, _ = c.callStationRetry(e.addr, proto.PreemptRequest{
 			JobID:  e.jobID,
 			Reason: fmt.Sprintf("machine reserved for %s", e.hold),
 		})

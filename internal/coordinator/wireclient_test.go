@@ -1,0 +1,311 @@
+package coordinator
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"condor/internal/policy"
+	"condor/internal/proto"
+	"condor/internal/updown"
+	"condor/internal/wire"
+)
+
+// --- config sanitize: partial structs must not be clobbered ------------
+
+func TestSanitizePreservesPartialPolicy(t *testing.T) {
+	cfg := Config{Policy: policy.Config{MaxPreemptsPerCycle: 3}}
+	cfg.sanitize()
+	if cfg.Policy.MaxPreemptsPerCycle != 3 {
+		t.Fatalf("MaxPreemptsPerCycle = %d, want the configured 3 (clobbered by defaults)",
+			cfg.Policy.MaxPreemptsPerCycle)
+	}
+	if cfg.Policy.MaxGrantsPerCycle != 1 {
+		t.Fatalf("MaxGrantsPerCycle = %d, want defaulted 1", cfg.Policy.MaxGrantsPerCycle)
+	}
+	if cfg.Policy.Placement != policy.PlaceFirstFit {
+		t.Fatalf("Placement = %v, want defaulted first-fit", cfg.Policy.Placement)
+	}
+}
+
+func TestSanitizePreservesPartialUpDown(t *testing.T) {
+	cfg := Config{UpDown: updown.Config{DownRate: 7}}
+	cfg.sanitize()
+	if cfg.UpDown.DownRate != 7 {
+		t.Fatalf("DownRate = %v, want the configured 7", cfg.UpDown.DownRate)
+	}
+	def := updown.DefaultConfig()
+	if cfg.UpDown.UpRate != def.UpRate || cfg.UpDown.MaxAbs != def.MaxAbs {
+		t.Fatalf("UpDown = %+v, want unset fields defaulted from %+v", cfg.UpDown, def)
+	}
+}
+
+func TestSanitizeZeroSubConfigsStillMeanDefaults(t *testing.T) {
+	cfg := Config{}
+	cfg.sanitize()
+	if cfg.Policy != policy.DefaultConfig() {
+		t.Fatalf("Policy = %+v, want full defaults for a zero struct", cfg.Policy)
+	}
+	if cfg.UpDown != updown.DefaultConfig() {
+		t.Fatalf("UpDown = %+v, want full defaults for a zero struct", cfg.UpDown)
+	}
+	if cfg.RPCTimeout != cfg.DialTimeout+10*time.Second {
+		t.Fatalf("RPCTimeout = %v, want DialTimeout+10s", cfg.RPCTimeout)
+	}
+}
+
+// --- Cycle vs. concurrent re-registration ------------------------------
+
+// fakeStation answers polls on the wire like a schedd would, via a
+// caller-supplied handler.
+func fakeStation(t testing.TB, handle func(msg any) (any, error)) *wire.Server {
+	t.Helper()
+	srv, err := wire.NewServer("127.0.0.1:0", func(pe *wire.Peer) wire.Handler {
+		return handle
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv
+}
+
+func TestReRegistrationDuringPollSurvivesStaleFailure(t *testing.T) {
+	// Regression: a station re-registers (possibly at a new address)
+	// while a poll of its previous incarnation is still in flight. When
+	// that stale poll fails, the coordinator must not unregister the
+	// fresh registration — the failure belongs to the old address.
+	polled := make(chan struct{}, 1)
+	release := make(chan struct{})
+	old := fakeStation(t, func(msg any) (any, error) {
+		select {
+		case polled <- struct{}{}:
+		default:
+		}
+		<-release
+		return nil, errors.New("station restarting")
+	})
+	fresh := fakeStation(t, func(msg any) (any, error) {
+		return proto.PollReply{Name: "ws", State: proto.StationIdle}, nil
+	})
+
+	coord, err := New(Config{
+		PollInterval: time.Hour,
+		DeadAfter:    1, // one stale failure used to be enough to unregister
+		RPCTimeout:   30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	coord.Register("ws", old.Addr())
+
+	done := make(chan struct{})
+	go func() {
+		coord.Cycle()
+		close(done)
+	}()
+	<-polled                           // the old incarnation is mid-poll
+	coord.Register("ws", fresh.Addr()) // station comes back at a new address
+	close(release)                     // now the stale poll fails
+	<-done
+
+	infos := coord.Stations()
+	if len(infos) != 1 || infos[0].Name != "ws" || infos[0].Addr != fresh.Addr() {
+		t.Fatalf("stations = %+v, want ws registered at the fresh address", infos)
+	}
+}
+
+func TestReRegistrationDuringPollIgnoresStaleSuccess(t *testing.T) {
+	// The mirror image: the stale poll *succeeds* (slowly) after the
+	// station re-registered elsewhere. Its reply describes the previous
+	// incarnation and must not overwrite the fresh registration's state.
+	polled := make(chan struct{}, 1)
+	release := make(chan struct{})
+	old := fakeStation(t, func(msg any) (any, error) {
+		select {
+		case polled <- struct{}{}:
+		default:
+		}
+		<-release
+		return proto.PollReply{Name: "ws", State: proto.StationClaimed,
+			ForeignJob: "ghost", ForeignOwnerStation: "nobody"}, nil
+	})
+	fresh := fakeStation(t, func(msg any) (any, error) {
+		return proto.PollReply{Name: "ws", State: proto.StationIdle}, nil
+	})
+
+	coord, err := New(Config{PollInterval: time.Hour, RPCTimeout: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	coord.Register("ws", old.Addr())
+
+	done := make(chan struct{})
+	go func() {
+		coord.Cycle()
+		close(done)
+	}()
+	<-polled
+	coord.Register("ws", fresh.Addr())
+	close(release)
+	<-done
+
+	infos := coord.Stations()
+	if len(infos) != 1 {
+		t.Fatalf("stations = %+v", infos)
+	}
+	if infos[0].State == proto.StationClaimed || infos[0].ForeignJob == "ghost" {
+		t.Fatalf("stale poll reply overwrote the fresh registration: %+v", infos[0])
+	}
+}
+
+// --- fault injection: a wedged station must not hang the cycle ---------
+
+func TestCycleBoundedWithBlackHoledStation(t *testing.T) {
+	// A station that accepts TCP but never reads nor replies. The cycle
+	// must complete within the RPC deadline, not block forever.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	var heldMu sync.Mutex
+	var held []net.Conn
+	defer func() {
+		heldMu.Lock()
+		defer heldMu.Unlock()
+		for _, conn := range held {
+			conn.Close()
+		}
+	}()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			heldMu.Lock()
+			held = append(held, conn) // hold open, never read
+			heldMu.Unlock()
+		}
+	}()
+
+	healthy := fakeStation(t, func(msg any) (any, error) {
+		return proto.PollReply{Name: "ok", State: proto.StationIdle}, nil
+	})
+
+	const rpcTimeout = 300 * time.Millisecond
+	coord, err := New(Config{
+		PollInterval: time.Hour,
+		RPCTimeout:   rpcTimeout,
+		DeadAfter:    100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	coord.Register("hole", ln.Addr().String())
+	coord.Register("ok", healthy.Addr())
+
+	start := time.Now()
+	coord.Cycle()
+	elapsed := time.Since(start)
+	// Budget: the RPC deadline plus retry backoff slack, far below "hangs".
+	if elapsed > 10*rpcTimeout {
+		t.Fatalf("Cycle took %v with a black-holed station (RPCTimeout %v)", elapsed, rpcTimeout)
+	}
+	stats := coord.Stats()
+	if stats.PollFails == 0 {
+		t.Fatalf("stats = %+v, want the black-holed poll counted as failed", stats)
+	}
+	if stats.Polls == 0 {
+		t.Fatalf("stats = %+v, want the healthy station still polled", stats)
+	}
+}
+
+// --- pooling: steady state is ≤1 dial per station ----------------------
+
+func TestCyclesReuseStationConnections(t *testing.T) {
+	const stations, cycles = 3, 5
+	coord, err := New(Config{PollInterval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	for i := 0; i < stations; i++ {
+		name := fmt.Sprintf("ws%d", i)
+		srv := fakeStation(t, func(msg any) (any, error) {
+			return proto.PollReply{Name: name, State: proto.StationOwner}, nil
+		})
+		coord.Register(name, srv.Addr())
+	}
+	for i := 0; i < cycles; i++ {
+		coord.Cycle()
+	}
+	stats := coord.Stats()
+	if stats.Dials != stations {
+		t.Fatalf("stats = %+v, want exactly one dial per station over %d cycles", stats, cycles)
+	}
+	if want := uint64(stations * (cycles - 1)); stats.Reuses != want {
+		t.Fatalf("stats = %+v, want %d reuses", stats, want)
+	}
+}
+
+func TestDialPerRPCAblationStillWorks(t *testing.T) {
+	coord, err := New(Config{PollInterval: time.Hour, DialPerRPC: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	srv := fakeStation(t, func(msg any) (any, error) {
+		return proto.PollReply{Name: "ws", State: proto.StationIdle}, nil
+	})
+	coord.Register("ws", srv.Addr())
+	coord.Cycle()
+	stats := coord.Stats()
+	if stats.Polls != 1 {
+		t.Fatalf("stats = %+v, want a successful poll without the pool", stats)
+	}
+	if stats.Dials != 0 || stats.Reuses != 0 {
+		t.Fatalf("stats = %+v, want zero pool counters in dial-per-RPC mode", stats)
+	}
+}
+
+// --- benchmarks: pooled vs. dial-per-RPC cycles ------------------------
+
+func benchmarkCycle(b *testing.B, dialPerRPC bool) {
+	const stations = 8
+	coord, err := New(Config{PollInterval: time.Hour, DialPerRPC: dialPerRPC})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer coord.Close()
+	for i := 0; i < stations; i++ {
+		name := fmt.Sprintf("ws%d", i)
+		srv := fakeStation(b, func(msg any) (any, error) {
+			return proto.PollReply{Name: name, State: proto.StationOwner}, nil
+		})
+		coord.Register(name, srv.Addr())
+	}
+	coord.Cycle() // warm the pool so the loop measures steady state
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		coord.Cycle()
+	}
+	b.StopTimer()
+	if !dialPerRPC {
+		stats := coord.Stats()
+		b.ReportMetric(float64(stats.Dials)/stations, "dials/station")
+		if stats.Dials > stations {
+			b.Fatalf("stats = %+v, want ≤1 dial per station in steady state", stats)
+		}
+	}
+}
+
+func BenchmarkCoordinatorCycle(b *testing.B)           { benchmarkCycle(b, false) }
+func BenchmarkCoordinatorCycleDialPerRPC(b *testing.B) { benchmarkCycle(b, true) }

@@ -317,9 +317,24 @@ type HistoryReply struct {
 // PoolStatusRequest asks the coordinator for the pool table.
 type PoolStatusRequest struct{}
 
+// WireStats reports the coordinator's pooled-connection activity:
+// how often station RPCs rode a cached connection versus paying a
+// fresh dial, plus reconnects after station restarts, idle evictions,
+// and retried attempts.
+type WireStats struct {
+	Dials      uint64
+	Reuses     uint64
+	Reconnects uint64
+	Evictions  uint64
+	Retries    uint64
+}
+
 // PoolStatusReply is the pool table.
 type PoolStatusReply struct {
 	Stations []StationInfo
+	// Wire is the coordinator's connection-pool activity (all zero when
+	// the coordinator runs in dial-per-RPC mode).
+	Wire WireStats
 }
 
 // --- shadow ↔ starter (Remote Unix) ----------------------------------

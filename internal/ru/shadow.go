@@ -68,10 +68,24 @@ type Shadow struct {
 
 // PlaceConfig parameterizes a placement.
 type PlaceConfig struct {
-	// DialTimeout bounds the TCP connect (default 5s).
+	// DialTimeout bounds one TCP connect attempt (default 5s).
 	DialTimeout time.Duration
-	// PlaceTimeout bounds the placement handshake (default 30s).
+	// DialRetry, when set, retries the TCP connect under its policy.
+	// Only the dial is ever retried: the PlaceRequest handshake runs at
+	// most once, because a handshake whose reply was lost may already
+	// have claimed the execution machine.
+	DialRetry *wire.Retry
+	// PlaceTimeout bounds the placement handshake (default 30s). When
+	// DialRetry is set it also bounds the whole dial-retry loop.
 	PlaceTimeout time.Duration
+	// WriteTimeout bounds each frame write on the shadow's connection
+	// (0 = unbounded), so a wedged execution machine cannot hang the
+	// shadow mid-send.
+	WriteTimeout time.Duration
+	// FrameTimeout bounds completing an inbound frame once its first
+	// byte has arrived (0 = unbounded). Idle waits between frames are
+	// never timed out — Heartbeat covers those.
+	FrameTimeout time.Duration
 	// Heartbeat probes the execution machine's liveness so a half-open
 	// connection (machine powered off mid-run) surfaces as JobLost
 	// rather than a shadow waiting forever. Zero disables probing.
@@ -111,7 +125,26 @@ func Place(
 		handler:  handler,
 		closed:   make(chan struct{}),
 	}
-	peer, err := wire.Dial(execAddr, cfg.DialTimeout, s.handle)
+	dial := func() (*wire.Peer, error) {
+		return wire.DialOpts(execAddr, wire.DialOptions{
+			Timeout:      cfg.DialTimeout,
+			WriteTimeout: cfg.WriteTimeout,
+			FrameTimeout: cfg.FrameTimeout,
+			Handler:      s.handle,
+		})
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.PlaceTimeout)
+	defer cancel()
+	var peer *wire.Peer
+	var err error
+	if cfg.DialRetry != nil {
+		err = cfg.DialRetry.Do(ctx, func() error {
+			peer, err = dial()
+			return err
+		})
+	} else {
+		peer, err = dial()
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -120,8 +153,6 @@ func Place(
 	}
 	s.peer = peer
 
-	ctx, cancel := context.WithTimeout(context.Background(), cfg.PlaceTimeout)
-	defer cancel()
 	reply, err := peer.Call(ctx, req)
 	if err != nil {
 		peer.Close()

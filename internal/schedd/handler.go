@@ -173,16 +173,14 @@ func (st *Station) StartRegistrar(coordAddr string, interval time.Duration) (sto
 	}, nil
 }
 
-// Register announces the station to the coordinator at coordAddr.
+// Register announces the station to the coordinator at coordAddr. The
+// call rides the station's pooled connection and is retried on
+// transient transport faults — registering twice is harmless, so it is
+// safely idempotent.
 func (st *Station) Register(coordAddr string) error {
-	peer, err := wire.Dial(coordAddr, st.cfg.DialTimeout, nil)
-	if err != nil {
-		return err
-	}
-	defer peer.Close()
 	ctx, cancel := context.WithTimeout(context.Background(), st.cfg.DialTimeout+5*time.Second)
 	defer cancel()
-	reply, err := peer.Call(ctx, proto.RegisterRequest{Name: st.cfg.Name, Addr: st.Addr()})
+	reply, err := st.pool.CallRetry(ctx, coordAddr, proto.RegisterRequest{Name: st.cfg.Name, Addr: st.Addr()})
 	if err != nil {
 		return fmt.Errorf("schedd: register %s with %s: %w", st.cfg.Name, coordAddr, err)
 	}

@@ -108,6 +108,13 @@ type job struct {
 	seq uint64
 }
 
+// frameIOTimeout bounds each in-progress frame on the station's
+// connections (server side and pooled client side). It only limits a
+// frame's transfer time, never idleness between frames, so it can be
+// generous: its job is to unwedge connections to machines that died
+// mid-frame.
+const frameIOTimeout = time.Minute
+
 // Station is the per-workstation daemon.
 type Station struct {
 	cfg     Config
@@ -115,6 +122,10 @@ type Station struct {
 	starter *ru.Starter
 	tracker *machine.Tracker
 	events  *eventlog.Log
+	// pool caches the station's outbound control connections (to the
+	// coordinator), so the registrar does not dial fresh on every
+	// re-registration check.
+	pool *wire.ClientPool
 
 	mu            sync.Mutex
 	jobs          map[string]*job
@@ -152,9 +163,19 @@ func New(cfg Config) (*Station, error) {
 		return nil, err
 	}
 	st.starter = starter
-	server, err := wire.NewServer(cfg.ListenAddr, st.handlerFor)
+	st.pool = wire.NewClientPool(wire.PoolConfig{
+		DialTimeout:  cfg.DialTimeout,
+		RPCTimeout:   cfg.DialTimeout + 5*time.Second,
+		WriteTimeout: frameIOTimeout,
+		FrameTimeout: frameIOTimeout,
+	})
+	server, err := wire.NewServerOpts(cfg.ListenAddr, wire.ServerOptions{
+		WriteTimeout: frameIOTimeout,
+		FrameTimeout: frameIOTimeout,
+	}, st.handlerFor)
 	if err != nil {
 		starter.Close()
+		st.pool.Close()
 		return nil, err
 	}
 	st.server = server
@@ -248,6 +269,7 @@ func (st *Station) Close() {
 	}
 	st.server.Close()
 	st.starter.Close()
+	st.pool.Close()
 }
 
 // trackLoop feeds the availability tracker, mirroring the local
@@ -534,7 +556,12 @@ func (st *Station) PlaceNext(execName, execAddr string) (string, error) {
 		Checkpoint: blob,
 	}, host, &jobEvents{station: st, jobID: jobID}, ru.PlaceConfig{
 		DialTimeout: st.cfg.DialTimeout,
-		Heartbeat:   st.cfg.PlacementHeartbeat,
+		// Retry only the TCP connect under the default policy; the
+		// handshake itself runs at most once (see ru.PlaceConfig).
+		DialRetry:    &wire.Retry{},
+		WriteTimeout: frameIOTimeout,
+		FrameTimeout: frameIOTimeout,
+		Heartbeat:    st.cfg.PlacementHeartbeat,
 	})
 	if err != nil {
 		st.setJobState(jobID, proto.JobIdle)

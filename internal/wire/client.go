@@ -71,11 +71,39 @@ func (p *Peer) start() { go p.readLoop() }
 
 // Dial connects to addr and returns a peer over the new connection.
 func Dial(addr string, timeout time.Duration, handler Handler) (*Peer, error) {
-	raw, err := net.DialTimeout("tcp", addr, timeout)
+	return DialOpts(addr, DialOptions{Timeout: timeout, Handler: handler})
+}
+
+// DialOptions tunes DialOpts.
+type DialOptions struct {
+	// Timeout bounds the TCP connect (default 5s).
+	Timeout time.Duration
+	// WriteTimeout bounds each frame write (0 = unbounded).
+	WriteTimeout time.Duration
+	// FrameTimeout bounds completing a frame read once its first byte has
+	// arrived (0 = unbounded). Idle waits are never timed out.
+	FrameTimeout time.Duration
+	// Heartbeat enables liveness probing (zero interval disables).
+	Heartbeat Heartbeat
+	// Handler serves the remote side's requests (nil = pure client).
+	Handler Handler
+}
+
+// DialOpts connects to addr with per-frame deadlines and an optional
+// heartbeat already armed on the returned peer.
+func DialOpts(addr string, opts DialOptions) (*Peer, error) {
+	if opts.Timeout <= 0 {
+		opts.Timeout = 5 * time.Second
+	}
+	raw, err := net.DialTimeout("tcp", addr, opts.Timeout)
 	if err != nil {
 		return nil, fmt.Errorf("wire: dial %s: %w", addr, err)
 	}
-	return NewPeer(NewConn(raw), handler), nil
+	conn := NewConn(raw)
+	conn.SetFrameTimeouts(opts.WriteTimeout, opts.FrameTimeout)
+	p := NewPeer(conn, opts.Handler)
+	p.StartHeartbeat(opts.Heartbeat)
+	return p, nil
 }
 
 // Close tears down the connection and fails all pending calls.
@@ -87,6 +115,17 @@ func (p *Peer) Close() error {
 
 // Done is closed when the reader loop exits (peer hung up or Close).
 func (p *Peer) Done() <-chan struct{} { return p.done }
+
+// Dead reports whether the peer's reader loop has exited, meaning the
+// connection can no longer carry calls.
+func (p *Peer) Dead() bool {
+	select {
+	case <-p.done:
+		return true
+	default:
+		return false
+	}
+}
 
 // Err returns the reason the reader loop ended, once Done is closed.
 func (p *Peer) Err() error {
@@ -106,6 +145,9 @@ func (p *Peer) readLoop() {
 	for {
 		env, err := p.conn.Recv()
 		if err != nil {
+			// The connection is useless once the reader dies; close it so
+			// writers blocked in Send unwedge too.
+			p.conn.Close()
 			p.failAll(err)
 			return
 		}
@@ -213,6 +255,7 @@ func (p *Peer) Notify(msg any) error {
 // Server accepts connections and runs a Peer for each.
 type Server struct {
 	listener net.Listener
+	opts     ServerOptions
 	// NewHandler builds the handler for one connection; it may capture
 	// per-connection state and receives the peer for calling back.
 	newHandler func(p *Peer) Handler
@@ -223,13 +266,29 @@ type Server struct {
 	wg     sync.WaitGroup
 }
 
+// ServerOptions tunes accepted connections.
+type ServerOptions struct {
+	// WriteTimeout bounds each frame write on accepted connections
+	// (0 = unbounded), so a wedged client cannot pin a serve goroutine.
+	WriteTimeout time.Duration
+	// FrameTimeout bounds completing an inbound frame once its first byte
+	// has arrived (0 = unbounded).
+	FrameTimeout time.Duration
+}
+
 // NewServer listens on addr (e.g. "127.0.0.1:0").
 func NewServer(addr string, newHandler func(p *Peer) Handler) (*Server, error) {
+	return NewServerOpts(addr, ServerOptions{}, newHandler)
+}
+
+// NewServerOpts is NewServer with per-frame deadlines applied to every
+// accepted connection.
+func NewServerOpts(addr string, opts ServerOptions, newHandler func(p *Peer) Handler) (*Server, error) {
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("wire: listen %s: %w", addr, err)
 	}
-	s := &Server{listener: l, newHandler: newHandler, peers: make(map[*Peer]struct{})}
+	s := &Server{listener: l, opts: opts, newHandler: newHandler, peers: make(map[*Peer]struct{})}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -246,6 +305,7 @@ func (s *Server) acceptLoop() {
 			return // listener closed
 		}
 		conn := NewConn(raw)
+		conn.SetFrameTimeouts(s.opts.WriteTimeout, s.opts.FrameTimeout)
 		// The handler may call back through the peer, so build the peer
 		// first and only then start its reader.
 		peer := newStoppedPeer(conn, nil)

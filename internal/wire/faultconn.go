@@ -1,0 +1,180 @@
+package wire
+
+import (
+	"errors"
+	"net"
+	"os"
+	"sync"
+	"time"
+)
+
+// ErrFaultReset is the failure a FaultConn injects for reset/drop plans.
+var ErrFaultReset = errors.New("wire: faultconn: connection reset")
+
+// FaultPlan scripts the failures a FaultConn injects. The zero value
+// injects nothing (transparent pass-through).
+type FaultPlan struct {
+	// StallWrites blocks every Write until the write deadline expires
+	// (or forever if none is set), modelling a peer that has stopped
+	// draining its socket.
+	StallWrites bool
+	// StallReads blocks every Read until the read deadline expires (or
+	// forever), modelling a black-holed peer that never sends.
+	StallReads bool
+	// WriteCap accepts at most this many bytes per Write call and fails
+	// the remainder with a deadline error — a partial frame write that
+	// leaves the stream desynchronized. 0 = unlimited.
+	WriteCap int
+	// DropAfterBytes severs the connection once this many total bytes
+	// have been written through it — a mid-frame connection drop.
+	// 0 = never.
+	DropAfterBytes int64
+	// Reset fails every operation immediately with ErrFaultReset,
+	// closing the connection.
+	Reset bool
+}
+
+// FaultConn wraps a net.Conn with scriptable transport faults for tests:
+// stalls, partial writes, mid-frame drops, and resets. It enforces
+// deadlines itself while stalling, so deadline behavior is testable
+// deterministically without filling kernel socket buffers.
+type FaultConn struct {
+	inner net.Conn
+
+	mu            sync.Mutex
+	plan          FaultPlan
+	readDeadline  time.Time
+	writeDeadline time.Time
+	written       int64
+
+	closed    chan struct{}
+	closeOnce sync.Once
+}
+
+// NewFaultConn wraps inner; inject faults via SetPlan.
+func NewFaultConn(inner net.Conn) *FaultConn {
+	return &FaultConn{inner: inner, closed: make(chan struct{})}
+}
+
+// SetPlan swaps the active fault plan (safe at any time).
+func (f *FaultConn) SetPlan(plan FaultPlan) {
+	f.mu.Lock()
+	f.plan = plan
+	f.mu.Unlock()
+}
+
+// Read implements net.Conn.
+func (f *FaultConn) Read(b []byte) (int, error) {
+	f.mu.Lock()
+	plan := f.plan
+	deadline := f.readDeadline
+	f.mu.Unlock()
+	if plan.Reset {
+		f.Close()
+		return 0, ErrFaultReset
+	}
+	if plan.StallReads {
+		return 0, f.stallUntil(deadline)
+	}
+	return f.inner.Read(b)
+}
+
+// Write implements net.Conn.
+func (f *FaultConn) Write(b []byte) (int, error) {
+	f.mu.Lock()
+	plan := f.plan
+	deadline := f.writeDeadline
+	written := f.written
+	f.mu.Unlock()
+	if plan.Reset {
+		f.Close()
+		return 0, ErrFaultReset
+	}
+	if plan.StallWrites {
+		return 0, f.stallUntil(deadline)
+	}
+	n := len(b)
+	capped := false
+	if plan.WriteCap > 0 && n > plan.WriteCap {
+		n = plan.WriteCap
+		capped = true
+	}
+	dropped := false
+	if plan.DropAfterBytes > 0 {
+		if remain := plan.DropAfterBytes - written; int64(n) >= remain {
+			if remain < 0 {
+				remain = 0
+			}
+			n = int(remain)
+			dropped = true
+		}
+	}
+	wrote, err := f.inner.Write(b[:n])
+	f.mu.Lock()
+	f.written += int64(wrote)
+	f.mu.Unlock()
+	if err != nil {
+		return wrote, err
+	}
+	if dropped {
+		f.Close()
+		return wrote, ErrFaultReset
+	}
+	if capped {
+		return wrote, os.ErrDeadlineExceeded
+	}
+	return wrote, nil
+}
+
+// stallUntil blocks until the deadline passes or the conn is closed,
+// returning the corresponding error.
+func (f *FaultConn) stallUntil(deadline time.Time) error {
+	if deadline.IsZero() {
+		<-f.closed
+		return net.ErrClosed
+	}
+	timer := time.NewTimer(time.Until(deadline))
+	defer timer.Stop()
+	select {
+	case <-f.closed:
+		return net.ErrClosed
+	case <-timer.C:
+		return os.ErrDeadlineExceeded
+	}
+}
+
+// Close implements net.Conn.
+func (f *FaultConn) Close() error {
+	f.closeOnce.Do(func() { close(f.closed) })
+	return f.inner.Close()
+}
+
+// LocalAddr implements net.Conn.
+func (f *FaultConn) LocalAddr() net.Addr { return f.inner.LocalAddr() }
+
+// RemoteAddr implements net.Conn.
+func (f *FaultConn) RemoteAddr() net.Addr { return f.inner.RemoteAddr() }
+
+// SetDeadline implements net.Conn.
+func (f *FaultConn) SetDeadline(t time.Time) error {
+	f.mu.Lock()
+	f.readDeadline, f.writeDeadline = t, t
+	f.mu.Unlock()
+	return f.inner.SetDeadline(t)
+}
+
+// SetReadDeadline implements net.Conn.
+func (f *FaultConn) SetReadDeadline(t time.Time) error {
+	f.mu.Lock()
+	f.readDeadline = t
+	f.mu.Unlock()
+	return f.inner.SetReadDeadline(t)
+}
+
+// SetWriteDeadline implements net.Conn.
+func (f *FaultConn) SetWriteDeadline(t time.Time) error {
+	f.mu.Lock()
+	f.writeDeadline = t
+	f.mu.Unlock()
+	return f.inner.SetWriteDeadline(t)
+}

@@ -9,6 +9,8 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // MaxFrameBytes bounds a single message; larger frames indicate protocol
@@ -56,6 +58,12 @@ type Conn struct {
 	readMu  sync.Mutex
 	writeMu sync.Mutex
 
+	// writeTimeoutNs / frameTimeoutNs hold the per-frame I/O bounds
+	// (nanoseconds; 0 = unbounded). Atomics so SetFrameTimeouts never
+	// contends with a reader blocked in Recv holding readMu.
+	writeTimeoutNs atomic.Int64
+	frameTimeoutNs atomic.Int64
+
 	closeOnce sync.Once
 	closeErr  error
 }
@@ -63,6 +71,25 @@ type Conn struct {
 // NewConn wraps raw.
 func NewConn(raw net.Conn) *Conn {
 	return &Conn{raw: raw}
+}
+
+// SetFrameTimeouts bounds each frame's I/O so a wedged peer fails fast
+// instead of blocking the connection's write or read side forever:
+// a Send must complete within write, and once a frame's first byte has
+// arrived the remainder must arrive within read. An idle connection is
+// never timed out — Recv waits for a frame's first byte without a
+// deadline (heartbeats, not frame deadlines, bound idleness). Zero
+// disables the respective bound. After a deadline expires mid-frame the
+// stream is desynchronized, so the connection is closed.
+func (c *Conn) SetFrameTimeouts(write, read time.Duration) {
+	if write < 0 {
+		write = 0
+	}
+	if read < 0 {
+		read = 0
+	}
+	c.writeTimeoutNs.Store(int64(write))
+	c.frameTimeoutNs.Store(int64(read))
 }
 
 // RemoteAddr returns the peer address.
@@ -85,33 +112,58 @@ func (c *Conn) Send(env Envelope) error {
 	}
 	c.writeMu.Lock()
 	defer c.writeMu.Unlock()
+	if d := time.Duration(c.writeTimeoutNs.Load()); d > 0 {
+		_ = c.raw.SetWriteDeadline(time.Now().Add(d))
+	}
 	var lenBuf [4]byte
 	binary.BigEndian.PutUint32(lenBuf[:], uint32(payload.Len()))
 	if _, err := c.raw.Write(lenBuf[:]); err != nil {
+		// A failed (possibly partial) frame write desynchronizes the
+		// stream; the connection cannot be used again.
+		c.Close()
 		return fmt.Errorf("wire: write length: %w", err)
 	}
 	if _, err := c.raw.Write(payload.Bytes()); err != nil {
+		c.Close()
 		return fmt.Errorf("wire: write payload: %w", err)
 	}
 	return nil
 }
 
 // Recv reads one envelope, blocking until a frame arrives or the
-// connection fails.
+// connection fails. With a frame timeout set (SetFrameTimeouts), waiting
+// for a frame to *start* is unbounded, but once its first byte arrives
+// the rest must follow within the timeout — a peer that stalls mid-frame
+// fails fast instead of wedging the reader.
 func (c *Conn) Recv() (Envelope, error) {
 	c.readMu.Lock()
 	defer c.readMu.Unlock()
 	var env Envelope
 	var lenBuf [4]byte
-	if _, err := io.ReadFull(c.raw, lenBuf[:]); err != nil {
+	frameTimeout := time.Duration(c.frameTimeoutNs.Load())
+	if frameTimeout > 0 {
+		// Clear any deadline armed for the previous frame: idleness
+		// between frames is normal.
+		_ = c.raw.SetReadDeadline(time.Time{})
+	}
+	if _, err := io.ReadFull(c.raw, lenBuf[:1]); err != nil {
+		return env, fmt.Errorf("wire: read length: %w", err)
+	}
+	if frameTimeout > 0 {
+		_ = c.raw.SetReadDeadline(time.Now().Add(frameTimeout))
+	}
+	if _, err := io.ReadFull(c.raw, lenBuf[1:]); err != nil {
+		c.Close() // mid-frame failure: stream desynchronized
 		return env, fmt.Errorf("wire: read length: %w", err)
 	}
 	n := binary.BigEndian.Uint32(lenBuf[:])
 	if n > MaxFrameBytes {
+		c.Close() // cannot resynchronize without consuming the frame
 		return env, fmt.Errorf("%w: %d bytes announced", ErrFrameTooLarge, n)
 	}
 	payload := make([]byte, n)
 	if _, err := io.ReadFull(c.raw, payload); err != nil {
+		c.Close()
 		return env, fmt.Errorf("wire: read payload: %w", err)
 	}
 	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&env); err != nil {

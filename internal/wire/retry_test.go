@@ -1,0 +1,121 @@
+package wire
+
+import (
+	"context"
+	"errors"
+	"io"
+	"testing"
+	"time"
+)
+
+func TestBackoffGrowthAndCap(t *testing.T) {
+	r := Retry{BaseDelay: 10 * time.Millisecond, MaxDelay: 80 * time.Millisecond,
+		Multiplier: 2, Jitter: -1} // jitter disabled for determinism
+	want := []time.Duration{
+		10 * time.Millisecond,
+		20 * time.Millisecond,
+		40 * time.Millisecond,
+		80 * time.Millisecond,
+		80 * time.Millisecond, // capped
+	}
+	for i, w := range want {
+		if got := r.Backoff(i + 1); got != w {
+			t.Errorf("Backoff(%d) = %v, want %v", i+1, got, w)
+		}
+	}
+}
+
+func TestBackoffJitterBounds(t *testing.T) {
+	r := Retry{BaseDelay: 100 * time.Millisecond, MaxDelay: time.Second,
+		Multiplier: 2, Jitter: 0.5}
+	for i := 0; i < 200; i++ {
+		got := r.Backoff(1)
+		if got < 50*time.Millisecond || got > 150*time.Millisecond {
+			t.Fatalf("jittered backoff %v outside [50ms, 150ms]", got)
+		}
+	}
+}
+
+func TestRetryableClassification(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{nil, false},
+		{&RemoteError{Msg: "queue full"}, false},
+		{context.Canceled, false},
+		{context.DeadlineExceeded, false},
+		{ErrClosed, true},
+		{io.ErrUnexpectedEOF, true},
+		{errors.New("wire: dial 1.2.3.4: connection refused"), true},
+	}
+	for _, c := range cases {
+		if got := Retryable(c.err); got != c.want {
+			t.Errorf("Retryable(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+}
+
+func TestDoRetriesTransientThenSucceeds(t *testing.T) {
+	r := Retry{MaxAttempts: 5, BaseDelay: time.Millisecond, Jitter: -1}
+	calls := 0
+	err := r.Do(context.Background(), func() error {
+		calls++
+		if calls < 3 {
+			return ErrClosed
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("err = %v, calls = %d; want nil after 3 attempts", err, calls)
+	}
+}
+
+func TestDoStopsOnRemoteError(t *testing.T) {
+	r := Retry{MaxAttempts: 5, BaseDelay: time.Millisecond}
+	calls := 0
+	remote := &RemoteError{Msg: "no idle jobs"}
+	err := r.Do(context.Background(), func() error {
+		calls++
+		return remote
+	})
+	if !errors.Is(err, remote) || calls != 1 {
+		t.Fatalf("err = %v, calls = %d; want the remote error after 1 attempt", err, calls)
+	}
+}
+
+func TestDoExhaustsAttempts(t *testing.T) {
+	r := Retry{MaxAttempts: 3, BaseDelay: time.Millisecond, Jitter: -1}
+	calls := 0
+	err := r.Do(context.Background(), func() error {
+		calls++
+		return ErrClosed
+	})
+	if !errors.Is(err, ErrClosed) || calls != 3 {
+		t.Fatalf("err = %v, calls = %d; want ErrClosed after 3 attempts", err, calls)
+	}
+}
+
+func TestDoStopsOnContextCancel(t *testing.T) {
+	r := Retry{MaxAttempts: 100, BaseDelay: 50 * time.Millisecond, Jitter: -1}
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	err := r.Do(ctx, func() error {
+		calls++
+		return ErrClosed
+	})
+	if err == nil {
+		t.Fatal("Do succeeded despite every attempt failing")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("Do ran %v after cancellation", elapsed)
+	}
+	if calls >= 100 {
+		t.Fatalf("Do made %d attempts despite cancellation", calls)
+	}
+}
