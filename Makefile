@@ -2,12 +2,13 @@
 
 GO ?= go
 
-.PHONY: all verify build vet test race bench sim examples clean
+.PHONY: all verify build vet test race chaos bench sim examples clean
 
 all: verify
 
-# Full pre-merge gate: compile, lint, plain tests, and the race detector.
-verify: build vet test race
+# Full pre-merge gate: compile, lint, plain tests, the race detector,
+# and the crash-recovery chaos suite.
+verify: build vet test race chaos
 
 build:
 	$(GO) build ./...
@@ -20,6 +21,13 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Crash-recovery and fault-injection suite: journal torn-tail fuzz,
+# coordinator replay fuzz, crash/restart recovery, and the end-to-end
+# pool chaos run (the long e2e half is skipped under -short).
+chaos:
+	$(GO) test -race -count=2 -run 'Crash|Chaos|Replay|Torn|Truncat|Recovery' \
+		./internal/journal/... ./internal/coordinator/... ./internal/schedd/...
 
 # Regenerate every table and figure of the paper (tee'd outputs land in
 # test_output.txt / bench_output.txt).

@@ -2,6 +2,12 @@
 // polls registered stations every poll interval, maintains Up-Down
 // schedule indexes, and hands out capacity grants. Stations register
 // themselves via condor-stationd -coordinator.
+//
+// With -state-dir the coordinator journals its up-down indexes,
+// reservations, and station table to disk and replays them on startup,
+// so a crash or restart loses neither the pool's fairness memory nor
+// its reservation promises. Without it the coordinator is pure
+// in-memory, as in the original paper.
 package main
 
 import (
@@ -26,15 +32,26 @@ func main() {
 			"prefer machines with long availability history (§5.1)")
 		rpcTimeout = flag.Duration("rpc-timeout", 0,
 			"end-to-end bound on one station RPC (0 = dial timeout + 10s)")
+		stateDir = flag.String("state-dir", "",
+			"journal up-down and reservation state here and replay it on restart (empty = in-memory)")
+		snapshotEvery = flag.Int("snapshot-every", 0,
+			"cycles between journal snapshots (0 = default 16; only with -state-dir)")
 	)
 	flag.Parse()
-	if err := run(*listen, *poll, *grants, *history, *rpcTimeout); err != nil {
+	if err := run(*listen, *poll, *grants, *history, *rpcTimeout, *stateDir, *snapshotEvery); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(listen string, poll time.Duration, grants int, history bool, rpcTimeout time.Duration) error {
-	cfg := coordinator.Config{ListenAddr: listen, PollInterval: poll, RPCTimeout: rpcTimeout}
+func run(listen string, poll time.Duration, grants int, history bool,
+	rpcTimeout time.Duration, stateDir string, snapshotEvery int) error {
+	cfg := coordinator.Config{
+		ListenAddr:    listen,
+		PollInterval:  poll,
+		RPCTimeout:    rpcTimeout,
+		StateDir:      stateDir,
+		SnapshotEvery: snapshotEvery,
+	}
 	cfg.Policy = policy.DefaultConfig()
 	cfg.Policy.MaxGrantsPerCycle = grants
 	if history {
@@ -45,7 +62,17 @@ func run(listen string, poll time.Duration, grants int, history bool, rpcTimeout
 		return err
 	}
 	defer coord.Close()
-	fmt.Printf("condor-coordinator listening on %s (poll every %v)\n", coord.Addr(), poll)
+	if stateDir != "" {
+		s := coord.Stats()
+		fmt.Printf("condor-coordinator listening on %s (poll every %v, state in %s, incarnation %d",
+			coord.Addr(), poll, stateDir, s.Incarnation)
+		if s.JournalReplayed > 0 || s.JournalTruncated > 0 {
+			fmt.Printf(", replayed %d records, truncated %d torn bytes", s.JournalReplayed, s.JournalTruncated)
+		}
+		fmt.Println(")")
+	} else {
+		fmt.Printf("condor-coordinator listening on %s (poll every %v, in-memory)\n", coord.Addr(), poll)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

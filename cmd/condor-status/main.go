@@ -1,6 +1,8 @@
 // Command condor-status prints the coordinator's pool table: every
 // registered workstation with its state, queue depth, Up-Down schedule
-// index, and the foreign job it is hosting.
+// index, reservation, and how long ago the coordinator last heard from
+// it — plus the coordinator's own incarnation, uptime, and journal
+// health, so a recovery is visible at a glance.
 package main
 
 import (
@@ -39,11 +41,18 @@ func run(coordAddr string) error {
 	if !ok {
 		return fmt.Errorf("unexpected reply %T", reply)
 	}
+	printCoordinator(sr.Coordinator)
 	rows := make([][]string, 0, len(sr.Stations))
+	now := time.Now()
 	for _, s := range sr.Stations {
-		age := "-"
+		lastSeen := "never"
 		if !s.LastPoll.IsZero() {
-			age = time.Since(s.LastPoll).Round(time.Second).String()
+			lastSeen = now.Sub(s.LastPoll).Round(time.Second).String() + " ago"
+		}
+		reserved := "-"
+		if s.ReservedFor != "" {
+			reserved = fmt.Sprintf("%s (%s left)",
+				s.ReservedFor, time.Until(s.ReservedUntil).Round(time.Second))
 		}
 		rows = append(rows, []string{
 			s.Name, s.State.String(),
@@ -51,14 +60,39 @@ func run(coordAddr string) error {
 			fmt.Sprintf("%d", s.RunningJobs),
 			s.ForeignJob,
 			fmt.Sprintf("%.1f", s.ScheduleIndex),
-			age,
+			reserved,
+			lastSeen,
 		})
 	}
 	fmt.Print(metrics.Table(
-		[]string{"Station", "State", "Waiting", "Running", "ForeignJob", "Index", "Polled"},
+		[]string{"Station", "State", "Waiting", "Running", "ForeignJob", "Index", "Reserved", "LastSeen"},
 		rows))
 	w := sr.Wire
 	fmt.Printf("\nwire: %d dials, %d reuses, %d reconnects, %d evictions, %d retries\n",
 		w.Dials, w.Reuses, w.Reconnects, w.Evictions, w.Retries)
 	return nil
+}
+
+// printCoordinator summarizes the daemon itself: restart lineage,
+// uptime, and journal/recovery health.
+func printCoordinator(ci proto.CoordinatorInfo) {
+	uptime := "?"
+	if ci.StartedUnixMillis != 0 {
+		uptime = time.Since(time.UnixMilli(ci.StartedUnixMillis)).Round(time.Second).String()
+	}
+	if !ci.Persistent {
+		fmt.Printf("coordinator: in-memory, up %s, %d cycles\n\n", uptime, ci.Cycles)
+		return
+	}
+	j := ci.Journal
+	fmt.Printf("coordinator: incarnation %d, up %s, %d cycles\n", ci.Incarnation, uptime, ci.Cycles)
+	fmt.Printf("journal: %d appends, %d snapshots, %d B log", j.Appends, j.Snapshots, j.LogBytes)
+	if j.Replayed > 0 || j.TruncatedBytes > 0 {
+		fmt.Printf("; recovered %d records (%d torn bytes truncated)", j.Replayed, j.TruncatedBytes)
+	}
+	if j.Errors > 0 {
+		fmt.Printf("; %d ERRORS", j.Errors)
+	}
+	fmt.Println()
+	fmt.Println()
 }

@@ -48,6 +48,14 @@ type Meta struct {
 	// CPUSteps is the guest CPU consumed at checkpoint time, so progress
 	// is visible without decoding the image.
 	CPUSteps uint64 `json:"cpuSteps"`
+	// SubmittedAtUnixMilli is when the job was originally submitted. It
+	// rides every checkpoint generation so a schedd restart restores the
+	// true submission time (and with it stable queue order) instead of
+	// re-stamping recovered jobs with the recovery time.
+	SubmittedAtUnixMilli int64 `json:"submittedAtUnixMilli,omitempty"`
+	// Priority is the job's local queue priority, preserved across a
+	// schedd restart for the same reason.
+	Priority int `json:"priority,omitempty"`
 }
 
 // flag bits in the header's flags word.

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"condor/internal/eventlog"
+	"condor/internal/journal"
 	"condor/internal/policy"
 	"condor/internal/proto"
 	"condor/internal/updown"
@@ -48,6 +49,18 @@ type Config struct {
 	// DeadAfter unregisters a station that has failed this many
 	// consecutive polls (default 5).
 	DeadAfter int
+	// StateDir enables the durable-state journal: up-down indexes,
+	// reservations, and the station table survive a coordinator crash
+	// and are replayed on the next start. Empty means pure in-memory
+	// (the paper's original behaviour).
+	StateDir string
+	// SnapshotEvery writes a full-state snapshot (compacting the
+	// journal) every N poll cycles (default 16). The journal also
+	// compacts early whenever its log outgrows the size threshold.
+	SnapshotEvery int
+	// SyncEvery fsyncs the journal after every Nth append (default 1 =
+	// every append; negative disables fsync for benchmarks).
+	SyncEvery int
 }
 
 func (c *Config) sanitize() {
@@ -68,6 +81,9 @@ func (c *Config) sanitize() {
 	}
 	if c.DeadAfter <= 0 {
 		c.DeadAfter = 5
+	}
+	if c.SnapshotEvery <= 0 {
+		c.SnapshotEvery = 16
 	}
 	// Sanitize sub-configs field-by-field: a partially filled struct keeps
 	// every field the user set and defaults only the rest. (Replacing the
@@ -132,6 +148,20 @@ type Stats struct {
 	Reconnects uint64
 	Evictions  uint64
 	Retries    uint64
+	// Incarnation counts how many times this coordinator's state
+	// directory has been opened — 1 on a fresh persistent coordinator,
+	// incrementing on every restart; 0 for an in-memory coordinator.
+	Incarnation uint64
+	// Journal activity (all zero without StateDir): records appended and
+	// snapshots written this incarnation, current log size, records
+	// replayed at startup, torn-tail bytes truncated at startup, and
+	// append/encode failures.
+	JournalAppends   uint64
+	JournalSnapshots uint64
+	JournalLogBytes  int64
+	JournalReplayed  uint64
+	JournalTruncated int64
+	JournalErrors    uint64
 }
 
 // Coordinator is the central capacity allocator.
@@ -143,6 +173,9 @@ type Coordinator struct {
 	pool   *wire.ClientPool
 	table  *updown.Table
 	events *eventlog.Log
+	// journal is the durable-state log (nil without StateDir).
+	journal *journal.Journal
+	started time.Time
 
 	mu           sync.Mutex
 	stations     map[string]*station
@@ -163,8 +196,16 @@ func New(cfg Config) (*Coordinator, error) {
 		events:       eventlog.New(eventlog.DefaultCapacity),
 		stations:     make(map[string]*station),
 		reservations: make(map[string]reservation),
+		started:      time.Now(),
 		stop:         make(chan struct{}),
 		done:         make(chan struct{}),
+	}
+	if cfg.StateDir != "" {
+		// Recover the previous incarnation's state before anything can
+		// observe or mutate it.
+		if err := c.openJournal(); err != nil {
+			return nil, err
+		}
 	}
 	if !cfg.DialPerRPC {
 		c.pool = wire.NewClientPool(wire.PoolConfig{
@@ -183,6 +224,9 @@ func New(cfg Config) (*Coordinator, error) {
 	if err != nil {
 		if c.pool != nil {
 			c.pool.Close()
+		}
+		if c.journal != nil {
+			c.journal.Close()
 		}
 		return nil, err
 	}
@@ -203,6 +247,12 @@ func (c *Coordinator) Close() {
 	if c.pool != nil {
 		c.pool.Close()
 	}
+	if c.journal != nil {
+		// No farewell snapshot: the journal is already durable, and
+		// keeping shutdown identical to a crash means the replay path is
+		// the only recovery path — exercised on every restart.
+		c.journal.Close()
+	}
 }
 
 // Stats returns a snapshot of the counters, wire-client activity
@@ -219,8 +269,20 @@ func (c *Coordinator) Stats() Stats {
 		out.Evictions = ps.Evictions
 		out.Retries = ps.Retries
 	}
+	if c.journal != nil {
+		js := c.journal.Stats()
+		out.Incarnation = js.Incarnation
+		out.JournalAppends = js.Appends
+		out.JournalSnapshots = js.Snapshots
+		out.JournalLogBytes = js.LogBytes
+		out.JournalReplayed = js.ReplayedRecords
+		out.JournalTruncated = js.TruncatedBytes
+	}
 	return out
 }
+
+// Started returns when this coordinator incarnation came up.
+func (c *Coordinator) Started() time.Time { return c.started }
 
 // Register adds a station directly (used by in-process pools; network
 // registrations arrive via RegisterRequest).
@@ -238,6 +300,12 @@ func (c *Coordinator) registerLocked(name, addr string) {
 		// The station came back at a new address; the cached connection
 		// to the old one is garbage.
 		c.pool.Invalidate(prev.addr)
+	}
+	if !known || prev.addr != addr {
+		// Re-registrations at the same address change nothing durable;
+		// journaling only membership changes keeps the log quiet under
+		// StartRegistrar's periodic re-registration.
+		c.appendJournalLocked(persistRecord{Kind: recRegister, Name: name, Addr: addr})
 	}
 	c.stations[name] = &station{name: name, addr: addr, reachable: true}
 	c.table.Touch(name)
@@ -334,6 +402,20 @@ func (c *Coordinator) handlerFor(peer *wire.Peer) wire.Handler {
 					Evictions:  stats.Evictions,
 					Retries:    stats.Retries,
 				},
+				Coordinator: proto.CoordinatorInfo{
+					Incarnation:       stats.Incarnation,
+					StartedUnixMillis: c.started.UnixMilli(),
+					Cycles:            stats.Cycles,
+					Persistent:        c.journal != nil,
+					Journal: proto.JournalStats{
+						Appends:        stats.JournalAppends,
+						Snapshots:      stats.JournalSnapshots,
+						LogBytes:       stats.JournalLogBytes,
+						Replayed:       stats.JournalReplayed,
+						TruncatedBytes: stats.JournalTruncated,
+						Errors:         stats.JournalErrors,
+					},
+				},
 			}, nil
 		default:
 			return nil, fmt.Errorf("coordinator: unexpected %T", msg)
@@ -414,6 +496,7 @@ func (c *Coordinator) Cycle() {
 			if s.failures >= c.cfg.DeadAfter {
 				delete(c.stations, s.name)
 				c.table.Remove(s.name)
+				c.appendJournalLocked(persistRecord{Kind: recUnregister, Name: s.name})
 				invalidate = append(invalidate, s.addr)
 				c.events.Append(eventlog.Event{
 					Kind: eventlog.KindDead, Station: s.name,
@@ -429,14 +512,19 @@ func (c *Coordinator) Cycle() {
 		s.lastPoll = now
 	}
 
-	// Update Up-Down indexes from the fresh pool picture.
+	// Update Up-Down indexes from the fresh pool picture. The updated
+	// values are journaled as one batch record per cycle — absolute
+	// values, so replay converges on the latest state regardless of how
+	// many earlier batches survive.
 	held := c.heldCountLocked()
 	views := make([]policy.StationView, 0, len(c.stations))
+	updated := make(map[string]float64, len(c.stations))
 	for _, s := range c.stations {
 		if !s.reachable {
 			continue
 		}
 		c.table.Update(s.name, held[s.name], s.lastReply.WaitingJobs > 0)
+		updated[s.name] = c.table.Index(s.name)
 		views = append(views, policy.StationView{
 			Name:         s.name,
 			State:        s.lastReply.State,
@@ -450,6 +538,10 @@ func (c *Coordinator) Cycle() {
 			ReservedFor:  c.reservationForLocked(s.name, now),
 		})
 	}
+	if len(updated) > 0 {
+		c.appendJournalLocked(persistRecord{Kind: recUpdown, Indexes: updated})
+	}
+	cycles := c.stats.Cycles
 	sort.Slice(views, func(i, j int) bool { return views[i].Name < views[j].Name })
 	decision := policy.Decide(views, c.table, c.cfg.Policy)
 	addrs := make(map[string]string, len(c.stations))
@@ -457,6 +549,12 @@ func (c *Coordinator) Cycle() {
 		addrs[s.name] = s.addr
 	}
 	c.mu.Unlock()
+
+	// Periodic snapshot: every SnapshotEvery cycles, or early when the
+	// log has outgrown its compaction threshold.
+	if c.journal != nil && (cycles%uint64(c.cfg.SnapshotEvery) == 0 || c.journal.NeedsCompaction()) {
+		c.snapshotJournal()
+	}
 
 	// Drop pooled connections to stations declared dead this cycle.
 	if c.pool != nil {

@@ -1,0 +1,238 @@
+package coordinator
+
+import (
+	"bytes"
+	"encoding/gob"
+	"time"
+
+	"condor/internal/journal"
+)
+
+// The coordinator's durable-state layer. With Config.StateDir set, every
+// state transition that is not reconstructible from polls — up-down
+// index movements (§2.4: the index is the pool's fairness memory),
+// reservations (§5.3: promises made to users), and the station table —
+// is journaled, and the full state is snapshotted every SnapshotEvery
+// cycles (or earlier when the log outgrows its compaction threshold).
+// On startup the snapshot plus the record tail are replayed, so a
+// restarted coordinator resumes with the fairness state and reservation
+// promises of its previous incarnation instead of resetting every heavy
+// user to neutral priority and silently scavenging reserved machines.
+
+// Journal record kinds.
+const (
+	recRegister   = "register"   // station joined (or changed address)
+	recUnregister = "unregister" // station declared dead / removed
+	recUpdown     = "updown"     // one cycle's absolute index values
+	recReserve    = "reserve"    // reservation granted or extended
+	recCancel     = "cancel"     // reservation released
+)
+
+// persistRecord is one journaled state delta. Index values are absolute
+// (the value *after* the update), so replay is idempotent and a record
+// can be applied without knowing its predecessors beyond the snapshot.
+type persistRecord struct {
+	Kind string
+	// Name is the station the record concerns.
+	Name string
+	// Addr is the station address (register records).
+	Addr string
+	// Indexes carries one cycle's updated up-down values (updown records).
+	Indexes map[string]float64
+	// Holder and UntilUnixMilli describe a reservation (reserve records).
+	Holder         string
+	UntilUnixMilli int64
+}
+
+// persistReservation is a reservation inside a snapshot.
+type persistReservation struct {
+	Holder         string
+	UntilUnixMilli int64
+}
+
+// persistState is the full snapshot payload.
+type persistState struct {
+	// Stations maps name → address for every registered station.
+	Stations map[string]string
+	// Indexes is the complete up-down table.
+	Indexes map[string]float64
+	// Reservations maps station → live reservation.
+	Reservations map[string]persistReservation
+}
+
+func encodeRecord(rec persistRecord) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(rec); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func decodeRecord(b []byte) (persistRecord, error) {
+	var rec persistRecord
+	err := gob.NewDecoder(bytes.NewReader(b)).Decode(&rec)
+	return rec, err
+}
+
+func encodeState(st persistState) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func decodeState(b []byte) (persistState, error) {
+	var st persistState
+	err := gob.NewDecoder(bytes.NewReader(b)).Decode(&st)
+	return st, err
+}
+
+// rebuildState folds a recovered snapshot and record tail into the
+// state a fresh coordinator should start from. Reservations already
+// expired at `now` are dropped. Undecodable inputs are skipped and
+// counted rather than fatal: a coordinator that lost a record must
+// still come up — the degradation is bounded (that record's delta) and
+// the next poll cycle re-observes the live pool anyway.
+func rebuildState(snapshot []byte, records [][]byte, now time.Time) (persistState, int) {
+	st := persistState{
+		Stations:     make(map[string]string),
+		Indexes:      make(map[string]float64),
+		Reservations: make(map[string]persistReservation),
+	}
+	skipped := 0
+	if snapshot != nil {
+		if snap, err := decodeState(snapshot); err == nil {
+			for k, v := range snap.Stations {
+				st.Stations[k] = v
+			}
+			for k, v := range snap.Indexes {
+				st.Indexes[k] = v
+			}
+			for k, v := range snap.Reservations {
+				st.Reservations[k] = v
+			}
+		} else {
+			skipped++
+		}
+	}
+	for _, b := range records {
+		rec, err := decodeRecord(b)
+		if err != nil {
+			skipped++
+			continue
+		}
+		switch rec.Kind {
+		case recRegister:
+			st.Stations[rec.Name] = rec.Addr
+			if _, ok := st.Indexes[rec.Name]; !ok {
+				st.Indexes[rec.Name] = 0 // Touch: fresh stations start neutral
+			}
+		case recUnregister:
+			delete(st.Stations, rec.Name)
+			delete(st.Indexes, rec.Name)
+			delete(st.Reservations, rec.Name)
+		case recUpdown:
+			for name, idx := range rec.Indexes {
+				st.Indexes[name] = idx
+			}
+		case recReserve:
+			st.Reservations[rec.Name] = persistReservation{
+				Holder:         rec.Holder,
+				UntilUnixMilli: rec.UntilUnixMilli,
+			}
+		case recCancel:
+			delete(st.Reservations, rec.Name)
+		default:
+			skipped++
+		}
+	}
+	for station, r := range st.Reservations {
+		if !time.UnixMilli(r.UntilUnixMilli).After(now) {
+			delete(st.Reservations, station)
+		}
+	}
+	return st, skipped
+}
+
+// openJournal recovers StateDir and installs the rebuilt state. Called
+// from New before the server or poll loop start, so no locking races.
+func (c *Coordinator) openJournal() error {
+	j, recovered, err := journal.Open(c.cfg.StateDir, journal.Config{
+		SyncEvery: c.cfg.SyncEvery,
+	})
+	if err != nil {
+		return err
+	}
+	c.journal = j
+	st, skipped := rebuildState(recovered.Snapshot, recovered.Records, time.Now())
+	c.stats.JournalErrors += uint64(skipped)
+	for name, addr := range st.Stations {
+		c.stations[name] = &station{name: name, addr: addr, reachable: true}
+	}
+	c.table.Restore(st.Indexes)
+	for name, r := range st.Reservations {
+		c.reservations[name] = reservation{
+			holder: r.Holder,
+			until:  time.UnixMilli(r.UntilUnixMilli),
+		}
+	}
+	// Compact immediately: recovery cost stays bounded even across a
+	// crash loop, and the replayed tail is folded into one snapshot.
+	if len(recovered.Records) > 0 || recovered.Snapshot != nil {
+		c.snapshotJournal()
+	}
+	return nil
+}
+
+// appendJournalLocked encodes and appends one record. Caller holds c.mu
+// (which is what serializes record order). Journal failures must never
+// take down allocation — they are counted and surfaced via Stats.
+func (c *Coordinator) appendJournalLocked(rec persistRecord) {
+	if c.journal == nil {
+		return
+	}
+	b, err := encodeRecord(rec)
+	if err != nil {
+		c.stats.JournalErrors++
+		return
+	}
+	if err := c.journal.Append(b); err != nil {
+		c.stats.JournalErrors++
+	}
+}
+
+// snapshotJournal writes the full current state as a new snapshot
+// generation. Caller must NOT hold c.mu.
+func (c *Coordinator) snapshotJournal() {
+	if c.journal == nil {
+		return
+	}
+	c.mu.Lock()
+	st := persistState{
+		Stations:     make(map[string]string, len(c.stations)),
+		Indexes:      c.table.Snapshot(),
+		Reservations: make(map[string]persistReservation, len(c.reservations)),
+	}
+	for name, s := range c.stations {
+		st.Stations[name] = s.addr
+	}
+	now := time.Now()
+	for name, r := range c.reservations {
+		if r.until.After(now) {
+			st.Reservations[name] = persistReservation{
+				Holder:         r.holder,
+				UntilUnixMilli: r.until.UnixMilli(),
+			}
+		}
+	}
+	c.mu.Unlock()
+	b, err := encodeState(st)
+	if err != nil {
+		c.bump(func(s *Stats) { s.JournalErrors++ })
+		return
+	}
+	if err := c.journal.Snapshot(b); err != nil {
+		c.bump(func(s *Stats) { s.JournalErrors++ })
+	}
+}

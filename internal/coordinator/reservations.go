@@ -37,6 +37,9 @@ func (c *Coordinator) Reserve(station, holder string, d time.Duration) (time.Tim
 	}
 	until := now.Add(d)
 	c.reservations[station] = reservation{holder: holder, until: until}
+	c.appendJournalLocked(persistRecord{
+		Kind: recReserve, Name: station, Holder: holder, UntilUnixMilli: until.UnixMilli(),
+	})
 	c.events.Append(eventlog.Event{
 		Kind: eventlog.KindReserve, Station: station,
 		Detail: fmt.Sprintf("for %s until %s", holder, until.Format(time.RFC3339)),
@@ -44,14 +47,20 @@ func (c *Coordinator) Reserve(station, holder string, d time.Duration) (time.Tim
 	return until, nil
 }
 
-// CancelReservation releases a station's reservation; it reports whether
-// one existed.
+// CancelReservation releases a station's reservation; it reports
+// whether a live one existed. Cancelling an already-expired reservation
+// prunes the stale entry but reports false — the reservation had
+// already ended on its own.
 func (c *Coordinator) CancelReservation(station string) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	_, ok := c.reservations[station]
+	r, ok := c.reservations[station]
+	if !ok {
+		return false
+	}
 	delete(c.reservations, station)
-	return ok
+	c.appendJournalLocked(persistRecord{Kind: recCancel, Name: station})
+	return r.until.After(time.Now())
 }
 
 // reservationFor returns the live reservation holder for a station

@@ -1,0 +1,283 @@
+package journal
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func mustOpen(t *testing.T, dir string, cfg Config) (*Journal, State) {
+	t.Helper()
+	j, state, err := Open(dir, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { j.Close() })
+	return j, state
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j, state := mustOpen(t, dir, Config{})
+	if state.Snapshot != nil || len(state.Records) != 0 {
+		t.Fatalf("fresh dir state = %+v", state)
+	}
+	var want [][]byte
+	for i := 0; i < 20; i++ {
+		rec := []byte(fmt.Sprintf("record-%d", i))
+		if err := j.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, rec)
+	}
+	j.Close()
+
+	_, state2 := mustOpen(t, dir, Config{})
+	if len(state2.Records) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(state2.Records), len(want))
+	}
+	for i, rec := range state2.Records {
+		if !bytes.Equal(rec, want[i]) {
+			t.Fatalf("record %d = %q, want %q", i, rec, want[i])
+		}
+	}
+}
+
+func TestIncarnationCounts(t *testing.T) {
+	dir := t.TempDir()
+	for want := uint64(1); want <= 3; want++ {
+		j, state, err := Open(dir, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if state.Incarnation != want || j.Incarnation() != want {
+			t.Fatalf("incarnation = %d/%d, want %d", state.Incarnation, j.Incarnation(), want)
+		}
+		j.Close()
+	}
+}
+
+func TestSnapshotCompactsLog(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := mustOpen(t, dir, Config{})
+	for i := 0; i < 5; i++ {
+		if err := j.Append([]byte("pre")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Snapshot([]byte("the-state")); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append([]byte("post")); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	_, state := mustOpen(t, dir, Config{})
+	if string(state.Snapshot) != "the-state" {
+		t.Fatalf("snapshot = %q", state.Snapshot)
+	}
+	if len(state.Records) != 1 || string(state.Records[0]) != "post" {
+		t.Fatalf("records = %q, want just the post-snapshot one", state.Records)
+	}
+	// Old generation files must be gone.
+	entries, _ := os.ReadDir(dir)
+	for _, e := range entries {
+		if e.Name() == "journal.0.log" || e.Name() == "snapshot.0.snap" {
+			t.Fatalf("stale generation file %s survived compaction", e.Name())
+		}
+	}
+}
+
+func TestNeedsCompaction(t *testing.T) {
+	j, _ := mustOpen(t, t.TempDir(), Config{CompactBytes: 64})
+	if j.NeedsCompaction() {
+		t.Fatal("empty log wants compaction")
+	}
+	for i := 0; i < 10; i++ {
+		if err := j.Append([]byte("0123456789abcdef")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !j.NeedsCompaction() {
+		t.Fatal("log past CompactBytes does not want compaction")
+	}
+	if err := j.Snapshot(nil); err != nil {
+		t.Fatal(err)
+	}
+	if j.NeedsCompaction() {
+		t.Fatal("fresh post-snapshot log wants compaction")
+	}
+}
+
+func TestCorruptSnapshotFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := mustOpen(t, dir, Config{})
+	if err := j.Snapshot([]byte("good")); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append([]byte("after-good")); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	// A later snapshot generation that is corrupt on disk must be
+	// ignored in favour of the older intact one.
+	if err := os.WriteFile(filepath.Join(dir, "snapshot.9.snap"), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, state := mustOpen(t, dir, Config{})
+	if string(state.Snapshot) != "good" {
+		t.Fatalf("snapshot = %q, want fallback to the intact generation", state.Snapshot)
+	}
+	if len(state.Records) != 1 || string(state.Records[0]) != "after-good" {
+		t.Fatalf("records = %q", state.Records)
+	}
+}
+
+func TestAppendAfterCloseFails(t *testing.T) {
+	j, _ := mustOpen(t, t.TempDir(), Config{})
+	j.Close()
+	if err := j.Append([]byte("x")); err != ErrClosed {
+		t.Fatalf("append after close = %v, want ErrClosed", err)
+	}
+	if err := j.Snapshot(nil); err != ErrClosed {
+		t.Fatalf("snapshot after close = %v, want ErrClosed", err)
+	}
+}
+
+func TestStats(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := mustOpen(t, dir, Config{})
+	for i := 0; i < 3; i++ {
+		if err := j.Append([]byte("rec")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Snapshot([]byte("s")); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append([]byte("rec")); err != nil {
+		t.Fatal(err)
+	}
+	s := j.Stats()
+	if s.Appends != 4 || s.Snapshots != 1 || s.Generation != 1 || s.Incarnation != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	j.Close()
+	j2, _ := mustOpen(t, dir, Config{})
+	s2 := j2.Stats()
+	if s2.ReplayedRecords != 1 || !s2.SnapshotRestored || s2.Incarnation != 2 {
+		t.Fatalf("reopened stats = %+v", s2)
+	}
+}
+
+// TestReplayTruncationFuzz cuts the log at every byte offset and
+// requires recovery to succeed cleanly, yielding an exact prefix of the
+// appended records — the torn-tail guarantee, exhaustively.
+func TestReplayTruncationFuzz(t *testing.T) {
+	master := t.TempDir()
+	j, _ := mustOpen(t, master, Config{})
+	var want [][]byte
+	for i := 0; i < 8; i++ {
+		rec := []byte(fmt.Sprintf("fuzz-record-%d-%s", i, string(make([]byte, i*3))))
+		if err := j.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, rec)
+	}
+	j.Close()
+	logBytes, err := os.ReadFile(filepath.Join(master, "journal.0.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for cut := 0; cut <= len(logBytes); cut++ {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, "journal.0.log"), logBytes[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		j2, state, err := Open(dir, Config{})
+		if err != nil {
+			t.Fatalf("cut at %d: recovery errored: %v", cut, err)
+		}
+		// The recovered records must be an exact prefix of the originals.
+		if len(state.Records) > len(want) {
+			t.Fatalf("cut at %d: %d records recovered, only %d written", cut, len(state.Records), len(want))
+		}
+		for i, rec := range state.Records {
+			if !bytes.Equal(rec, want[i]) {
+				t.Fatalf("cut at %d: record %d = %q, want %q", cut, i, rec, want[i])
+			}
+		}
+		// The journal must be append-ready on the truncated boundary:
+		// a new record lands after the surviving prefix.
+		if err := j2.Append([]byte("appended-after-recovery")); err != nil {
+			t.Fatalf("cut at %d: append after recovery: %v", cut, err)
+		}
+		j2.Close()
+		_, state3, err := Open(dir, Config{})
+		if err != nil {
+			t.Fatalf("cut at %d: second recovery: %v", cut, err)
+		}
+		if n := len(state3.Records); n != len(state.Records)+1 {
+			t.Fatalf("cut at %d: %d records after append, want %d", cut, n, len(state.Records)+1)
+		}
+		if got := state3.Records[len(state3.Records)-1]; string(got) != "appended-after-recovery" {
+			t.Fatalf("cut at %d: tail record = %q", cut, got)
+		}
+	}
+}
+
+// TestCorruptMiddleRecordTruncates flips a byte inside an early record:
+// everything from the damaged record on is discarded, everything before
+// it survives.
+func TestCorruptMiddleRecordTruncates(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := mustOpen(t, dir, Config{})
+	for i := 0; i < 5; i++ {
+		if err := j.Append([]byte(fmt.Sprintf("record-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+	path := filepath.Join(dir, "journal.0.log")
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Record 0 occupies recHeaderLen+8 bytes; damage record 1's payload.
+	b[(recHeaderLen+8)+recHeaderLen+2] ^= 0xFF
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, state := mustOpen(t, dir, Config{})
+	if len(state.Records) != 1 || string(state.Records[0]) != "record-0" {
+		t.Fatalf("records = %q, want just the intact prefix", state.Records)
+	}
+}
+
+func TestZeroLengthRunIsTornTail(t *testing.T) {
+	// A preallocated-but-unwritten region (all zero bytes) must read as
+	// a torn tail, not as an endless stream of empty records.
+	dir := t.TempDir()
+	j, _ := mustOpen(t, dir, Config{})
+	if err := j.Append([]byte("real")); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	path := filepath.Join(dir, "journal.0.log")
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(make([]byte, 64)); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	_, state := mustOpen(t, dir, Config{})
+	if len(state.Records) != 1 || string(state.Records[0]) != "real" {
+		t.Fatalf("records = %q", state.Records)
+	}
+}

@@ -329,12 +329,49 @@ type WireStats struct {
 	Retries    uint64
 }
 
+// JournalStats reports the coordinator's durable-state journal activity
+// (all zero when the coordinator runs without a state directory).
+type JournalStats struct {
+	// Appends and Snapshots count journal writes this incarnation.
+	Appends   uint64
+	Snapshots uint64
+	// LogBytes is the current journal log size.
+	LogBytes int64
+	// Replayed is how many records startup recovery replayed.
+	Replayed uint64
+	// TruncatedBytes is how much torn tail recovery cut off the log.
+	TruncatedBytes int64
+	// Errors counts journal append/encode failures (state kept serving,
+	// durability degraded).
+	Errors uint64
+}
+
+// CoordinatorInfo describes the coordinator daemon itself: its restart
+// lineage and recovery state, so operators can see at a glance that a
+// crash happened and what was restored.
+type CoordinatorInfo struct {
+	// Incarnation is how many times this coordinator's state directory
+	// has been opened (0 = running without durable state).
+	Incarnation uint64
+	// StartedUnixMillis is when this incarnation came up.
+	StartedUnixMillis int64
+	// Cycles is how many allocation cycles this incarnation has run.
+	Cycles uint64
+	// Persistent reports whether a state directory is configured.
+	Persistent bool
+	// Journal is the durable-state journal activity.
+	Journal JournalStats
+}
+
 // PoolStatusReply is the pool table.
 type PoolStatusReply struct {
 	Stations []StationInfo
 	// Wire is the coordinator's connection-pool activity (all zero when
 	// the coordinator runs in dial-per-RPC mode).
 	Wire WireStats
+	// Coordinator describes the coordinator daemon: incarnation, uptime,
+	// and journal/recovery state.
+	Coordinator CoordinatorInfo
 }
 
 // --- shadow ↔ starter (Remote Unix) ----------------------------------

@@ -3,6 +3,7 @@ package schedd
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -188,16 +189,41 @@ func New(cfg Config) (*Station, error) {
 // recoverJobs rebuilds the queue from checkpoints found in the store —
 // the submitter-reboot half of the completion guarantee: with a durable
 // store (ckpt.DirStore), a machine crash on the *submitting* side loses
-// no queued or checkpointed work either.
+// no queued or checkpointed work either. The original submission time
+// and priority ride in the checkpoint metadata, so the recovered queue
+// keeps its pre-restart order (submission order, not the store's
+// lexicographic listing, which would rank "ws/10" before "ws/2").
 func (st *Station) recoverJobs() {
 	prefix := st.cfg.Name + "/"
 	maxNum := 0
+	type recovered struct {
+		meta ckpt.Meta
+		num  int
+	}
+	var found []recovered
 	for _, meta := range st.cfg.Store.List() {
 		if !strings.HasPrefix(meta.JobID, prefix) {
 			continue // a foreign job's checkpoint; not ours to queue
 		}
-		if n, err := strconv.Atoi(meta.JobID[len(prefix):]); err == nil && n > maxNum {
-			maxNum = n
+		num := 0
+		if n, err := strconv.Atoi(meta.JobID[len(prefix):]); err == nil {
+			num = n
+			if n > maxNum {
+				maxNum = n
+			}
+		}
+		found = append(found, recovered{meta: meta, num: num})
+	}
+	// Submission order: the numeric job counter is assigned at submit
+	// time and never reused, so it is the exact original order; the
+	// persisted timestamp is restored alongside for display and any
+	// age-based policy.
+	sort.Slice(found, func(i, j int) bool { return found[i].num < found[j].num })
+	for _, r := range found {
+		meta := r.meta
+		submittedAt := time.Now()
+		if meta.SubmittedAtUnixMilli != 0 {
+			submittedAt = time.UnixMilli(meta.SubmittedAtUnixMilli)
 		}
 		j := &job{
 			status: proto.JobStatus{
@@ -205,9 +231,10 @@ func (st *Station) recoverJobs() {
 				Owner:       meta.Owner,
 				Program:     meta.ProgramName,
 				State:       proto.JobIdle,
-				SubmittedAt: time.Now(),
+				SubmittedAt: submittedAt,
 				CPUSteps:    meta.CPUSteps,
 				Checkpoints: int(meta.Sequence),
+				Priority:    meta.Priority,
 			},
 			host: st.cfg.Hosts(meta.JobID, meta.Owner),
 		}
@@ -326,7 +353,12 @@ func (st *Station) SubmitJob(owner string, prog *cvm.Program, opts SubmitOptions
 	jobID := fmt.Sprintf("%s/%d", st.cfg.Name, st.nextNum)
 	st.mu.Unlock()
 
-	meta := ckpt.Meta{JobID: jobID, Owner: owner, ProgramName: prog.Name}
+	submittedAt := time.Now()
+	meta := ckpt.Meta{
+		JobID: jobID, Owner: owner, ProgramName: prog.Name,
+		SubmittedAtUnixMilli: submittedAt.UnixMilli(),
+		Priority:             opts.Priority,
+	}
 	blob, err := ru.InitialCheckpoint(meta, prog, opts.StackWords)
 	if err != nil {
 		return "", err
@@ -345,7 +377,7 @@ func (st *Station) SubmitJob(owner string, prog *cvm.Program, opts SubmitOptions
 			Owner:       owner,
 			Program:     prog.Name,
 			State:       proto.JobIdle,
-			SubmittedAt: time.Now(),
+			SubmittedAt: submittedAt,
 			Priority:    opts.Priority,
 		},
 		program:    prog,

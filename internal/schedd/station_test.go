@@ -509,6 +509,49 @@ func TestQueueRecoveryFromDurableStore(t *testing.T) {
 	}
 }
 
+func TestRecoveryPreservesSubmissionTimeAndOrder(t *testing.T) {
+	dir := t.TempDir()
+	store1, err := ckpt.NewDirStore(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws1 := newStation(t, "ws1", nil, store1)
+	// Eleven jobs so "ws1/10" exists: a lexicographic listing would rank
+	// it before "ws1/2" and scramble the recovered queue.
+	for i := 0; i < 11; i++ {
+		if _, err := ws1.SubmitJob("alice", cvm.SumProgram(1000),
+			SubmitOptions{Priority: i % 3}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := ws1.Queue()
+	ws1.Close()
+
+	store2, err := ckpt.NewDirStore(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws1b := newStation(t, "ws1", nil, store2)
+	after := ws1b.Queue()
+	if len(after) != len(before) {
+		t.Fatalf("recovered %d jobs, want %d", len(after), len(before))
+	}
+	for i := range before {
+		if after[i].ID != before[i].ID {
+			t.Fatalf("queue[%d] = %s, want %s (order not preserved)", i, after[i].ID, before[i].ID)
+		}
+		if after[i].Priority != before[i].Priority {
+			t.Fatalf("%s recovered priority %d, want %d", after[i].ID, after[i].Priority, before[i].Priority)
+		}
+		// SubmittedAt round-trips through checkpoint metadata at
+		// millisecond resolution; it must be the original submission
+		// time, not the recovery time.
+		if got, want := after[i].SubmittedAt.UnixMilli(), before[i].SubmittedAt.UnixMilli(); got != want {
+			t.Fatalf("%s recovered SubmittedAt %d, want %d", after[i].ID, got, want)
+		}
+	}
+}
+
 func TestRecoveryIgnoresForeignCheckpoints(t *testing.T) {
 	dir := t.TempDir()
 	store, err := ckpt.NewDirStore(dir, 0)

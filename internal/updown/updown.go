@@ -169,6 +169,32 @@ func (t *Table) Snapshot() map[string]float64 {
 	return out
 }
 
+// Restore overwrites the table with a recovered set of indexes — the
+// coordinator's crash-recovery path replaying a journal snapshot.
+// Stations are (re-)registered in sorted-name order, so tie-break
+// arrival order is deterministic after a restart even though the
+// original registration order is not part of the snapshot.
+func (t *Table) Restore(indexes map[string]float64) {
+	names := make([]string, 0, len(indexes))
+	for name := range indexes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, name := range names {
+		t.touchLocked(name)
+		idx := indexes[name]
+		if idx > t.cfg.MaxAbs {
+			idx = t.cfg.MaxAbs
+		}
+		if idx < -t.cfg.MaxAbs {
+			idx = -t.cfg.MaxAbs
+		}
+		t.indexes[name] = idx
+	}
+}
+
 // Remove forgets a station entirely.
 func (t *Table) Remove(name string) {
 	t.mu.Lock()
