@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all verify build vet test race chaos bench sim examples clean
+.PHONY: all verify build vet test race chaos bench bench-baseline fuzz sim examples clean
 
 all: verify
 
@@ -33,6 +33,22 @@ chaos:
 # test_output.txt / bench_output.txt).
 bench:
 	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
+
+# Re-measure the committed benchmark baseline (BENCH_baseline.json):
+# the telemetry hot path, wire round trips, journal appends, and the
+# coordinator cycle at 100 and 1000 stations.
+bench-baseline:
+	$(GO) test -run NONE -bench \
+		'BenchmarkTelemetryObserve$$|BenchmarkTelemetryCounter$$|BenchmarkFrameRoundTrip$$|BenchmarkJournalAppend|BenchmarkCycle100$$|BenchmarkCycle1000$$' \
+		-benchmem ./internal/telemetry/ ./internal/wire/ ./internal/journal/ ./internal/coordinator/ \
+		| $(GO) run ./cmd/bench2json > BENCH_baseline.json
+	@cat BENCH_baseline.json
+
+# Short fuzz budget over the wire frame decoder: hostile length
+# prefixes, truncated frames, and garbage must never panic or
+# over-allocate. CI runs this on every push.
+fuzz:
+	$(GO) test -run NONE -fuzz FuzzFrameDecode -fuzztime 20s ./internal/wire/
 
 sim:
 	$(GO) run ./cmd/condor-sim

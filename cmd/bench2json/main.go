@@ -1,0 +1,114 @@
+// Command bench2json converts `go test -bench` output on stdin to a
+// stable JSON document on stdout, so benchmark baselines can be
+// committed and diffed (see BENCH_baseline.json and `make
+// bench-baseline`).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line, normalized.
+type Result struct {
+	Name string  `json:"name"`
+	Runs int64   `json:"runs"`
+	NsOp float64 `json:"ns_per_op"`
+	// BOp / AllocsOp are -1 when the benchmark did not report memory.
+	BOp      int64 `json:"bytes_per_op"`
+	AllocsOp int64 `json:"allocs_per_op"`
+	// Extra holds any custom metrics (e.g. "MB/s", "dials/station").
+	Extra map[string]float64 `json:"extra,omitempty"`
+}
+
+// Document is the whole baseline file.
+type Document struct {
+	GoOS    string   `json:"goos,omitempty"`
+	GoArch  string   `json:"goarch,omitempty"`
+	Package []string `json:"packages,omitempty"`
+	CPU     string   `json:"cpu,omitempty"`
+	Results []Result `json:"results"`
+}
+
+func main() {
+	doc, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench2json:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintln(os.Stderr, "bench2json:", err)
+		os.Exit(1)
+	}
+}
+
+func parse(sc *bufio.Scanner) (*Document, error) {
+	doc := &Document{}
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			doc.GoOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			doc.GoArch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "pkg:"):
+			doc.Package = append(doc.Package, strings.TrimSpace(strings.TrimPrefix(line, "pkg:")))
+		case strings.HasPrefix(line, "cpu:"):
+			doc.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			r, ok := parseResult(line)
+			if ok {
+				doc.Results = append(doc.Results, r)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(doc.Results) == 0 {
+		return nil, fmt.Errorf("no benchmark lines on stdin")
+	}
+	return doc, nil
+}
+
+// parseResult decodes one line of the form:
+//
+//	BenchmarkName-8  1000  1234 ns/op  56 B/op  7 allocs/op  [val unit]...
+func parseResult(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Result{}, false
+	}
+	runs, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{Name: fields[0], Runs: runs, BOp: -1, AllocsOp: -1}
+	// The remainder is (value, unit) pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			r.NsOp = v
+		case "B/op":
+			r.BOp = int64(v)
+		case "allocs/op":
+			r.AllocsOp = int64(v)
+		default:
+			if r.Extra == nil {
+				r.Extra = make(map[string]float64)
+			}
+			r.Extra[unit] = v
+		}
+	}
+	return r, true
+}

@@ -21,6 +21,7 @@ import (
 
 	"condor/internal/coordinator"
 	"condor/internal/policy"
+	"condor/internal/telemetry"
 )
 
 func main() {
@@ -36,15 +37,17 @@ func main() {
 			"journal up-down and reservation state here and replay it on restart (empty = in-memory)")
 		snapshotEvery = flag.Int("snapshot-every", 0,
 			"cycles between journal snapshots (0 = default 16; only with -state-dir)")
+		httpAddr = flag.String("http", "",
+			"serve /metrics, /healthz and /debug/pprof on this address (empty = disabled)")
 	)
 	flag.Parse()
-	if err := run(*listen, *poll, *grants, *history, *rpcTimeout, *stateDir, *snapshotEvery); err != nil {
+	if err := run(*listen, *poll, *grants, *history, *rpcTimeout, *stateDir, *snapshotEvery, *httpAddr); err != nil {
 		log.Fatal(err)
 	}
 }
 
 func run(listen string, poll time.Duration, grants int, history bool,
-	rpcTimeout time.Duration, stateDir string, snapshotEvery int) error {
+	rpcTimeout time.Duration, stateDir string, snapshotEvery int, httpAddr string) error {
 	cfg := coordinator.Config{
 		ListenAddr:    listen,
 		PollInterval:  poll,
@@ -62,6 +65,14 @@ func run(listen string, poll time.Duration, grants int, history bool,
 		return err
 	}
 	defer coord.Close()
+	if httpAddr != "" {
+		srv, err := telemetry.Serve(httpAddr, telemetry.Default)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Printf("telemetry on http://%s/metrics (pprof at /debug/pprof/)\n", srv.Addr())
+	}
 	if stateDir != "" {
 		s := coord.Stats()
 		fmt.Printf("condor-coordinator listening on %s (poll every %v, state in %s, incarnation %d",

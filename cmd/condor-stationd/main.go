@@ -23,6 +23,7 @@ import (
 	"condor/internal/machine"
 	"condor/internal/ru"
 	"condor/internal/schedd"
+	"condor/internal/telemetry"
 )
 
 // fileMonitor reports the owner active while the marker file exists.
@@ -54,14 +55,15 @@ func main() {
 		diskCap   = flag.Int64("disk", 0, "checkpoint store capacity in bytes (0 = unlimited)")
 		kill      = flag.Bool("kill-immediately", false, "kill on owner return instead of suspending")
 		periodic  = flag.Duration("periodic-checkpoint", 0, "periodic checkpoint interval (0 = off)")
-		jobDir    = flag.String("jobdir", "", "directory for jobs' real file I/O (default: per-job in-memory)")
+		jobDir   = flag.String("jobdir", "", "directory for jobs' real file I/O (default: per-job in-memory)")
+		httpAddr = flag.String("http", "", "serve /metrics, /healthz and /debug/pprof on this address (empty = disabled)")
 	)
 	flag.Parse()
 	if err := run(stationOpts{
 		name: *name, listen: *listen, coord: *coordAddr, ownerFile: *ownerFile,
 		scan: *scan, grace: *grace, pacing: *pacing, spool: *spoolDir,
 		disk: *diskCap, kill: *kill, periodic: *periodic, jobDir: *jobDir,
-		monitor: *monitor, maxBusy: *maxBusy,
+		monitor: *monitor, maxBusy: *maxBusy, httpAddr: *httpAddr,
 	}); err != nil {
 		log.Fatal(err)
 	}
@@ -69,7 +71,7 @@ func main() {
 
 type stationOpts struct {
 	name, listen, coord, ownerFile, spool string
-	jobDir, monitor                       string
+	jobDir, monitor, httpAddr             string
 	maxBusy                               float64
 	scan, grace, pacing, periodic         time.Duration
 	disk                                  int64
@@ -149,6 +151,14 @@ func run(o stationOpts) error {
 	}
 	defer st.Close()
 	fmt.Printf("condor-stationd %q listening on %s\n", st.Name(), st.Addr())
+	if o.httpAddr != "" {
+		srv, err := telemetry.Serve(o.httpAddr, telemetry.Default)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Printf("telemetry on http://%s/metrics (pprof at /debug/pprof/)\n", srv.Addr())
+	}
 	if o.coord != "" {
 		if err := st.Register(o.coord); err != nil {
 			return err

@@ -19,7 +19,15 @@ import (
 
 func main() {
 	coordAddr := flag.String("coordinator", "127.0.0.1:9618", "coordinator address")
+	metricsAddr := flag.String("metrics", "",
+		"scrape this daemon's /metrics endpoint (host:port or URL of a -http listener) instead of querying the coordinator")
 	flag.Parse()
+	if *metricsAddr != "" {
+		if err := runMetrics(*metricsAddr); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	if err := run(*coordAddr); err != nil {
 		log.Fatal(err)
 	}
@@ -81,11 +89,14 @@ func printCoordinator(ci proto.CoordinatorInfo) {
 		uptime = time.Since(time.UnixMilli(ci.StartedUnixMillis)).Round(time.Second).String()
 	}
 	if !ci.Persistent {
-		fmt.Printf("coordinator: in-memory, up %s, %d cycles\n\n", uptime, ci.Cycles)
+		fmt.Printf("coordinator: in-memory, up %s, %d cycles\n", uptime, ci.Cycles)
+		printAllocation(ci)
+		fmt.Println()
 		return
 	}
 	j := ci.Journal
 	fmt.Printf("coordinator: incarnation %d, up %s, %d cycles\n", ci.Incarnation, uptime, ci.Cycles)
+	printAllocation(ci)
 	fmt.Printf("journal: %d appends, %d snapshots, %d B log", j.Appends, j.Snapshots, j.LogBytes)
 	if j.Replayed > 0 || j.TruncatedBytes > 0 {
 		fmt.Printf("; recovered %d records (%d torn bytes truncated)", j.Replayed, j.TruncatedBytes)
@@ -95,4 +106,13 @@ func printCoordinator(ci proto.CoordinatorInfo) {
 	}
 	fmt.Println()
 	fmt.Println()
+}
+
+// printAllocation summarizes grant and preemption activity.
+func printAllocation(ci proto.CoordinatorInfo) {
+	if ci.Grants == 0 && ci.Preempts == 0 {
+		return
+	}
+	fmt.Printf("allocation: %d grants (%d used, %d denied), %d preempts\n",
+		ci.Grants, ci.GrantsUsed, ci.GrantsDenied, ci.Preempts)
 }

@@ -1,0 +1,49 @@
+package coordinator
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"condor/internal/proto"
+)
+
+// benchPool starts a coordinator over n registered fake stations spread
+// across a fixed set of wire servers (distinct addresses, so the client
+// pool holds real per-station connections without n listeners).
+func benchPool(b *testing.B, n int) *Coordinator {
+	b.Helper()
+	const servers = 16
+	addrs := make([]string, 0, servers)
+	for i := 0; i < servers; i++ {
+		srv := fakeStation(b, func(msg any) (any, error) {
+			return proto.PollReply{State: proto.StationIdle}, nil
+		})
+		addrs = append(addrs, srv.Addr())
+	}
+	coord, err := New(Config{
+		PollInterval: time.Hour,
+		RPCTimeout:   30 * time.Second,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(coord.Close)
+	for i := 0; i < n; i++ {
+		coord.Register(fmt.Sprintf("ws%04d", i), addrs[i%len(addrs)])
+	}
+	return coord
+}
+
+func benchmarkCycleAt(b *testing.B, stations int) {
+	coord := benchPool(b, stations)
+	coord.Cycle() // warm the connection pool outside the timer
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		coord.Cycle()
+	}
+}
+
+func BenchmarkCycle100(b *testing.B)  { benchmarkCycleAt(b, 100) }
+func BenchmarkCycle1000(b *testing.B) { benchmarkCycleAt(b, 1000) }

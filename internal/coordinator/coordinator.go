@@ -19,8 +19,32 @@ import (
 	"condor/internal/journal"
 	"condor/internal/policy"
 	"condor/internal/proto"
+	"condor/internal/telemetry"
 	"condor/internal/updown"
 	"condor/internal/wire"
+)
+
+// Coordinator telemetry (see docs/OBSERVABILITY.md). Interned once;
+// cycle and poll paths only touch atomics.
+var (
+	mCycleDuration = telemetry.NewHistogram("condor_coordinator_cycle_seconds",
+		"Duration of one full poll-decide-act allocation cycle.", nil)
+	mPollLatency = telemetry.NewHistogram("condor_coordinator_poll_seconds",
+		"Latency of one station poll RPC within the cycle fan-out.", nil)
+	mPollFails = telemetry.NewCounter("condor_coordinator_poll_failures_total",
+		"Station polls that failed (station unreachable or RPC error).")
+	mGrants = telemetry.NewCounter("condor_coordinator_grants_total",
+		"Capacity grants issued to stations.")
+	mGrantsUsed = telemetry.NewCounter("condor_coordinator_grants_used_total",
+		"Grants the receiving station actually used to place a job.")
+	mGrantsDenied = telemetry.NewCounter("condor_coordinator_grants_denied_total",
+		"Grants the receiving station declined (pacing, no jobs left, disk).")
+	mPreempts = telemetry.NewCounter("condor_coordinator_preempts_total",
+		"Up-Down preemption orders sent to execution stations.")
+	mStations = telemetry.NewGauge("condor_coordinator_stations",
+		"Stations currently registered in the pool.")
+	mPollInFlight = telemetry.NewGauge("condor_coordinator_polls_in_flight",
+		"Station polls currently in flight (bounded by PollConcurrency).")
 )
 
 // Config parameterizes a coordinator.
@@ -49,6 +73,11 @@ type Config struct {
 	// DeadAfter unregisters a station that has failed this many
 	// consecutive polls (default 5).
 	DeadAfter int
+	// PollConcurrency caps how many station polls run at once in a
+	// cycle (default 64). Without a cap a 10k-station pool would burst
+	// 10k goroutines and dials every cycle; with it the fan-out streams
+	// through a fixed-size window.
+	PollConcurrency int
 	// StateDir enables the durable-state journal: up-down indexes,
 	// reservations, and the station table survive a coordinator crash
 	// and are replayed on the next start. Empty means pure in-memory
@@ -81,6 +110,9 @@ func (c *Config) sanitize() {
 	}
 	if c.DeadAfter <= 0 {
 		c.DeadAfter = 5
+	}
+	if c.PollConcurrency <= 0 {
+		c.PollConcurrency = 64
 	}
 	if c.SnapshotEvery <= 0 {
 		c.SnapshotEvery = 16
@@ -139,7 +171,10 @@ type Stats struct {
 	PollFails  uint64
 	Grants     uint64
 	GrantsUsed uint64
-	Preempts   uint64
+	// GrantsDenied counts grants the receiving station declined (pacing,
+	// no idle jobs, disk full, owner returned mid-grant).
+	GrantsDenied uint64
+	Preempts     uint64
 	// Wire-client activity on the pooled station connections: fresh
 	// dials, calls served by a cached connection, dials replacing a dead
 	// one, idle evictions, and CallRetry re-attempts.
@@ -308,6 +343,7 @@ func (c *Coordinator) registerLocked(name, addr string) {
 		c.appendJournalLocked(persistRecord{Kind: recRegister, Name: name, Addr: addr})
 	}
 	c.stations[name] = &station{name: name, addr: addr, reachable: true}
+	mStations.Set(int64(len(c.stations)))
 	c.table.Touch(name)
 }
 
@@ -406,6 +442,10 @@ func (c *Coordinator) handlerFor(peer *wire.Peer) wire.Handler {
 					Incarnation:       stats.Incarnation,
 					StartedUnixMillis: c.started.UnixMilli(),
 					Cycles:            stats.Cycles,
+					Grants:            stats.Grants,
+					GrantsUsed:        stats.GrantsUsed,
+					GrantsDenied:      stats.GrantsDenied,
+					Preempts:          stats.Preempts,
 					Persistent:        c.journal != nil,
 					Journal: proto.JournalStats{
 						Appends:        stats.JournalAppends,
@@ -441,6 +481,8 @@ func (c *Coordinator) pollLoop() {
 // Cycle runs one poll-decide-act cycle synchronously. The loop calls it
 // on the poll interval; tests may call it directly.
 func (c *Coordinator) Cycle() {
+	cycleStart := time.Now()
+	defer func() { mCycleDuration.ObserveDuration(time.Since(cycleStart)) }()
 	c.mu.Lock()
 	c.stats.Cycles++
 	targets := make([]*station, 0, len(c.stations))
@@ -465,14 +507,25 @@ func (c *Coordinator) Cycle() {
 		err   error
 	}
 	results := make([]pollResult, len(targets))
+	// Bounded fan-out: the semaphore is acquired *before* the goroutine
+	// spawns, so at most PollConcurrency polls (goroutines and dials) are
+	// ever alive at once — a 10k-station pool streams through a fixed
+	// window instead of bursting 10k goroutines each cycle.
+	sem := make(chan struct{}, c.cfg.PollConcurrency)
 	var wg sync.WaitGroup
 	for i, s := range targets {
 		i := i
 		name, addr := s.name, s.addr
+		sem <- struct{}{}
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			defer func() { <-sem }()
+			mPollInFlight.Inc()
+			pollStart := time.Now()
 			reply, err := c.pollStation(addr)
+			mPollLatency.ObserveDuration(time.Since(pollStart))
+			mPollInFlight.Dec()
 			results[i] = pollResult{name: name, addr: addr, reply: reply, err: err}
 		}()
 	}
@@ -491,10 +544,12 @@ func (c *Coordinator) Cycle() {
 		}
 		if r.err != nil {
 			c.stats.PollFails++
+			mPollFails.Inc()
 			s.failures++
 			s.reachable = false
 			if s.failures >= c.cfg.DeadAfter {
 				delete(c.stations, s.name)
+				mStations.Set(int64(len(c.stations)))
 				c.table.Remove(s.name)
 				c.appendJournalLocked(persistRecord{Kind: recUnregister, Name: s.name})
 				invalidate = append(invalidate, s.addr)
@@ -566,15 +621,21 @@ func (c *Coordinator) Cycle() {
 	// Act.
 	for _, g := range decision.Grants {
 		c.bump(func(st *Stats) { st.Grants++ })
+		mGrants.Inc()
 		reply, err := c.callStation(addrs[g.Requester], proto.GrantRequest{
 			ExecName: g.Exec,
 			ExecAddr: addrs[g.Exec],
 		})
 		if err != nil {
+			// The grant never completed; whether the station would have
+			// used it is unknowable, so count it as denied capacity.
+			c.bump(func(st *Stats) { st.GrantsDenied++ })
+			mGrantsDenied.Inc()
 			continue
 		}
 		if gr, ok := reply.(proto.GrantReply); ok && gr.Used {
 			c.bump(func(st *Stats) { st.GrantsUsed++ })
+			mGrantsUsed.Inc()
 			c.events.Append(eventlog.Event{
 				Kind: eventlog.KindGrant, Job: gr.JobID, Station: g.Exec,
 				Detail: "granted to " + g.Requester,
@@ -588,10 +649,14 @@ func (c *Coordinator) Cycle() {
 				s.lastReply.ForeignOwnerStation = g.Requester
 			}
 			c.mu.Unlock()
+		} else {
+			c.bump(func(st *Stats) { st.GrantsDenied++ })
+			mGrantsDenied.Inc()
 		}
 	}
 	for _, p := range decision.Preempts {
 		c.bump(func(st *Stats) { st.Preempts++ })
+		mPreempts.Inc()
 		c.events.Append(eventlog.Event{
 			Kind: eventlog.KindPreempt, Job: p.JobID, Station: p.Exec,
 			Detail: fmt.Sprintf("%s outranks %s", p.Beneficiary, p.Victim),

@@ -1,0 +1,29 @@
+package journal
+
+import (
+	"testing"
+)
+
+// benchmarkAppend measures one record append at the given fsync policy.
+func benchmarkAppend(b *testing.B, syncEvery int) {
+	j, _, err := Open(b.TempDir(), Config{SyncEvery: syncEvery})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer j.Close()
+	rec := make([]byte, 256)
+	for i := range rec {
+		rec[i] = byte(i)
+	}
+	b.SetBytes(int64(len(rec)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := j.Append(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkJournalAppend(b *testing.B)       { benchmarkAppend(b, 1) }
+func BenchmarkJournalAppendNoSync(b *testing.B) { benchmarkAppend(b, -1) }

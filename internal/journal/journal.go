@@ -33,6 +33,21 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"time"
+
+	"condor/internal/telemetry"
+)
+
+// Journal telemetry (see docs/OBSERVABILITY.md). Append latency includes
+// the fsync when the SyncEvery policy issues one, so the histogram shows
+// the bimodal synced/unsynced cost directly.
+var (
+	mAppendLatency = telemetry.NewHistogram("condor_journal_append_seconds",
+		"Latency of one journal record append, fsync included when issued.", nil)
+	mSnapshotLatency = telemetry.NewHistogram("condor_journal_snapshot_seconds",
+		"Latency of one full-state snapshot write (fsync, rename, log rotation).", nil)
+	mJournalErrors = telemetry.NewCounter("condor_journal_errors_total",
+		"Journal appends or snapshots that failed.")
 )
 
 // File framing constants.
@@ -314,6 +329,17 @@ func scanGen(name, pattern string, g *uint64) bool {
 
 // Append adds one record to the log, fsyncing per the SyncEvery policy.
 func (j *Journal) Append(rec []byte) error {
+	start := time.Now()
+	err := j.append(rec)
+	if err != nil {
+		mJournalErrors.Inc()
+	} else {
+		mAppendLatency.ObserveDuration(time.Since(start))
+	}
+	return err
+}
+
+func (j *Journal) append(rec []byte) error {
 	if int64(len(rec)) > j.cfg.MaxRecordBytes {
 		return fmt.Errorf("journal: record of %d bytes exceeds limit %d", len(rec), j.cfg.MaxRecordBytes)
 	}
@@ -352,6 +378,17 @@ func (j *Journal) Append(rec []byte) error {
 // a crash at any point, Open recovers either the old generation intact
 // or the new one — never a mix.
 func (j *Journal) Snapshot(state []byte) error {
+	start := time.Now()
+	err := j.snapshot(state)
+	if err != nil {
+		mJournalErrors.Inc()
+	} else {
+		mSnapshotLatency.ObserveDuration(time.Since(start))
+	}
+	return err
+}
+
+func (j *Journal) snapshot(state []byte) error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.closed {

@@ -357,6 +357,14 @@ type CoordinatorInfo struct {
 	StartedUnixMillis int64
 	// Cycles is how many allocation cycles this incarnation has run.
 	Cycles uint64
+	// Grants, GrantsUsed, GrantsDenied and Preempts summarize allocation
+	// activity: grants issued, grants the receiving station actually used
+	// to place a job, grants it declined (pacing, no jobs left, disk), and
+	// Up-Down preemption orders sent.
+	Grants       uint64
+	GrantsUsed   uint64
+	GrantsDenied uint64
+	Preempts     uint64
 	// Persistent reports whether a state directory is configured.
 	Persistent bool
 	// Journal is the durable-state journal activity.

@@ -24,6 +24,9 @@ const (
 type ctl struct {
 	kind   ctlKind
 	reason string
+	// at is when the scan loop posted the command; the executor observes
+	// the post-to-reaction delay as preemption latency.
+	at time.Time
 }
 
 // execution is one foreign job resident on a starter.
@@ -47,6 +50,7 @@ type execution struct {
 // full channel means the executor is already draining a burst of
 // commands and the scan will re-evaluate next tick.
 func (e *execution) post(c ctl) {
+	c.at = time.Now()
 	select {
 	case e.ctl <- c:
 	default:
@@ -87,6 +91,9 @@ func (e *execution) run() {
 			}
 			if c.kind == 0 {
 				break
+			}
+			if !c.at.IsZero() {
+				mPreemptLatency.ObserveDuration(time.Since(c.at))
 			}
 			switch c.kind {
 			case ctlSuspend:
@@ -239,10 +246,13 @@ var _ cvm.SyscallHandler = (*remoteHandler)(nil)
 func (h *remoteHandler) Syscall(req cvm.SyscallRequest) (cvm.SyscallReply, error) {
 	ctx, cancel := context.WithTimeout(context.Background(), h.timeout)
 	defer cancel()
+	start := time.Now()
 	reply, err := h.peer.Call(ctx, proto.SyscallMsg{JobID: h.jobID, Req: req})
 	if err != nil {
+		mSyscallErrors.Inc()
 		return cvm.SyscallReply{}, fmt.Errorf("ru: syscall forward: %w", err)
 	}
+	mSyscallRTT.ObserveDuration(time.Since(start))
 	rep, ok := reply.(proto.SyscallReplyMsg)
 	if !ok {
 		return cvm.SyscallReply{}, fmt.Errorf("ru: unexpected syscall reply %T", reply)

@@ -1,0 +1,16 @@
+package ru
+
+import (
+	"condor/internal/telemetry"
+)
+
+// Remote-execution telemetry (see docs/OBSERVABILITY.md). Interned once;
+// the syscall-forward and control paths only touch atomics.
+var (
+	mSyscallRTT = telemetry.NewHistogram("condor_ru_shadow_syscall_seconds",
+		"Round-trip time of one guest system call forwarded to its shadow at the home station.", nil)
+	mPreemptLatency = telemetry.NewHistogram("condor_ru_preempt_react_seconds",
+		"Delay from the scan loop detecting the owner's return (posting suspend/kill/vacate) to the executor acting on it.", nil)
+	mSyscallErrors = telemetry.NewCounter("condor_ru_shadow_syscall_errors_total",
+		"Forwarded system calls that failed (shadow unreachable or deadline expired).")
+)

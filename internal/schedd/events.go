@@ -31,11 +31,14 @@ func (e *jobEvents) JobDone(msg proto.JobDoneMsg) {
 	if msg.Faulted {
 		j.status.State = proto.JobFaulted
 		j.status.FaultMsg = msg.FaultMsg
+		markTransition(proto.JobFaulted)
 	} else {
 		j.status.State = proto.JobCompleted
 		j.status.ExitCode = msg.ExitCode
+		markTransition(proto.JobCompleted)
 	}
 	status := st.statusLocked(j)
+	st.updateQueueGaugesLocked()
 	st.mu.Unlock()
 	// The checkpoint is no longer needed; release the disk (§4).
 	_ = st.cfg.Store.Delete(e.jobID)
@@ -59,6 +62,8 @@ func (e *jobEvents) JobVacated(msg proto.JobVacatedMsg) {
 		j.status.ExecHost = ""
 		j.status.CPUSteps = msg.Steps
 		j.status.Checkpoints++
+		markTransition(proto.JobIdle)
+		st.updateQueueGaugesLocked()
 	}
 	st.mu.Unlock()
 	st.logEvent(eventlog.KindVacate, e.jobID, "", msg.Reason)
@@ -107,6 +112,8 @@ func (e *jobEvents) JobLost(jobID string, err error) {
 		j.shadow = nil
 		j.status.State = proto.JobIdle
 		j.status.ExecHost = ""
+		markTransition(proto.JobIdle)
+		st.updateQueueGaugesLocked()
 	}
 	st.mu.Unlock()
 	st.logEvent(eventlog.KindLost, jobID, "", err.Error())

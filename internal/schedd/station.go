@@ -15,6 +15,7 @@ import (
 	"condor/internal/machine"
 	"condor/internal/proto"
 	"condor/internal/ru"
+	"condor/internal/telemetry"
 	"condor/internal/wire"
 )
 
@@ -128,6 +129,10 @@ type Station struct {
 	// re-registration check.
 	pool *wire.ClientPool
 
+	// gQueue / gWaiting are this station's interned queue-depth gauges.
+	gQueue   *telemetry.Gauge
+	gWaiting *telemetry.Gauge
+
 	mu            sync.Mutex
 	jobs          map[string]*job
 	order         []string // submission order (local FIFO priority)
@@ -149,12 +154,14 @@ func New(cfg Config) (*Station, error) {
 		return nil, err
 	}
 	st := &Station{
-		cfg:     cfg,
-		jobs:    make(map[string]*job),
-		waiters: make(map[string][]chan proto.JobStatus),
-		events:  eventlog.New(eventlog.DefaultCapacity),
-		stop:    make(chan struct{}),
-		done:    make(chan struct{}),
+		cfg:      cfg,
+		jobs:     make(map[string]*job),
+		waiters:  make(map[string][]chan proto.JobStatus),
+		events:   eventlog.New(eventlog.DefaultCapacity),
+		gQueue:   mQueueDepth.With(cfg.Name),
+		gWaiting: mWaitingJobs.With(cfg.Name),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
 	}
 	starterCfg := cfg.Starter
 	starterCfg.Name = cfg.Name
@@ -243,6 +250,10 @@ func (st *Station) recoverJobs() {
 		st.logEvent(eventlog.KindSubmit, meta.JobID, st.cfg.Name,
 			fmt.Sprintf("recovered from checkpoint (seq %d)", meta.Sequence))
 	}
+	for range found {
+		markTransition(proto.JobIdle)
+	}
+	st.updateQueueGaugesLocked()
 	if st.nextNum < maxNum {
 		st.nextNum = maxNum
 	}
@@ -387,7 +398,9 @@ func (st *Station) SubmitJob(owner string, prog *cvm.Program, opts SubmitOptions
 	st.mu.Lock()
 	st.jobs[jobID] = j
 	st.order = append(st.order, jobID)
+	st.updateQueueGaugesLocked()
 	st.mu.Unlock()
+	markTransition(proto.JobIdle)
 	st.logEvent(eventlog.KindSubmit, jobID, st.cfg.Name,
 		fmt.Sprintf("%s by %s (pri %d)", prog.Name, owner, opts.Priority))
 	return jobID, nil
@@ -452,8 +465,10 @@ func (st *Station) Remove(jobID string) bool {
 	wasTerminal := j.status.State.Terminal()
 	if !wasTerminal {
 		j.status.State = proto.JobRemoved
+		markTransition(proto.JobRemoved)
 	}
 	status := st.statusLocked(j)
+	st.updateQueueGaugesLocked()
 	st.mu.Unlock()
 	if shadow != nil {
 		shadow.Close()
@@ -569,7 +584,9 @@ func (st *Station) PlaceNext(execName, execAddr string) (string, error) {
 	owner := j.status.Owner
 	host := j.host
 	j.status.State = proto.JobPlacing
+	st.updateQueueGaugesLocked()
 	st.mu.Unlock()
+	markTransition(proto.JobPlacing)
 
 	meta, img, err := st.cfg.Store.Get(jobID)
 	if err != nil {
@@ -606,7 +623,9 @@ func (st *Station) PlaceNext(execName, execAddr string) (string, error) {
 	j.status.ExecHost = execName
 	j.status.Placements++
 	st.lastPlacement = time.Now()
+	st.updateQueueGaugesLocked()
 	st.mu.Unlock()
+	markTransition(proto.JobRunning)
 	st.logEvent(eventlog.KindPlace, jobID, execName, "")
 	return jobID, nil
 }
@@ -616,5 +635,7 @@ func (st *Station) setJobState(jobID string, state proto.JobState) {
 	defer st.mu.Unlock()
 	if j, ok := st.jobs[jobID]; ok {
 		j.status.State = state
+		markTransition(state)
+		st.updateQueueGaugesLocked()
 	}
 }

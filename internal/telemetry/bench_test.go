@@ -1,0 +1,59 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkTelemetryObserve is the hot-path contract: one histogram
+// observation must be allocation-free (the acceptance bar for putting it
+// on the wire layer's per-RPC path). Run with -benchmem; the baseline in
+// BENCH_baseline.json records 0 allocs/op.
+func BenchmarkTelemetryObserve(b *testing.B) {
+	r := NewRegistry()
+	h := r.Histogram("bench_seconds", "h", DefBuckets)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i%1000) * 1e-6)
+	}
+	if allocs := testing.AllocsPerRun(1000, func() { h.Observe(1e-3) }); allocs != 0 {
+		b.Fatalf("Observe allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// BenchmarkTelemetryObserveParallel measures the contended case — every
+// poll goroutine of a big cycle observing into the same histogram.
+func BenchmarkTelemetryObserveParallel(b *testing.B) {
+	r := NewRegistry()
+	h := r.Histogram("bench_par_seconds", "h", DefBuckets)
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			i++
+			h.Observe(float64(i%1000) * 1e-6)
+		}
+	})
+}
+
+// BenchmarkTelemetryCounter measures the counter fast path.
+func BenchmarkTelemetryCounter(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("bench_total", "h")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+// BenchmarkTelemetryObserveDuration covers the time.Duration adapter the
+// instrumentation sites actually call.
+func BenchmarkTelemetryObserveDuration(b *testing.B) {
+	r := NewRegistry()
+	h := r.Histogram("bench_dur_seconds", "h", DefBuckets)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.ObserveDuration(time.Duration(i%1000) * time.Microsecond)
+	}
+}

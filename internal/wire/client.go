@@ -218,25 +218,33 @@ func (p *Peer) Call(ctx context.Context, msg any) (any, error) {
 	p.pending[id] = ch
 	p.mu.Unlock()
 
+	start := time.Now()
 	if err := p.conn.Send(Envelope{ID: id, Kind: KindRequest, Msg: msg}); err != nil {
 		p.mu.Lock()
 		delete(p.pending, id)
 		p.mu.Unlock()
+		mRPCErrors.Inc()
 		return nil, err
 	}
 	select {
 	case env := <-ch:
 		if env.Err != "" {
 			if env.Err == ErrClosed.Error() {
+				mRPCErrors.Inc()
 				return nil, ErrClosed
 			}
+			// A RemoteError still completed the round trip; its latency is
+			// as real as a success's.
+			mRPCLatency.ObserveDuration(time.Since(start))
 			return nil, &RemoteError{Msg: env.Err}
 		}
+		mRPCLatency.ObserveDuration(time.Since(start))
 		return env.Msg, nil
 	case <-ctx.Done():
 		p.mu.Lock()
 		delete(p.pending, id)
 		p.mu.Unlock()
+		mRPCErrors.Inc()
 		return nil, ctx.Err()
 	}
 }

@@ -127,7 +127,34 @@ func (c *Conn) Send(env Envelope) error {
 		c.Close()
 		return fmt.Errorf("wire: write payload: %w", err)
 	}
+	mFramesSent.Inc()
+	mBytesSent.Add(uint64(4 + payload.Len()))
 	return nil
+}
+
+// maxEagerFrameAlloc caps how much Recv allocates up front on the
+// strength of a peer's announced frame length alone. Larger frames grow
+// the buffer as bytes actually arrive, so a hostile length prefix (64 MB
+// announced, nothing sent) costs at most this much memory, not
+// MaxFrameBytes.
+const maxEagerFrameAlloc = 1 << 20
+
+// readPayload reads an n-byte frame payload, trusting n only as far as
+// maxEagerFrameAlloc; beyond that the buffer grows with the data.
+func readPayload(r io.Reader, n uint32) ([]byte, error) {
+	if n <= maxEagerFrameAlloc {
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return nil, err
+		}
+		return payload, nil
+	}
+	var buf bytes.Buffer
+	buf.Grow(maxEagerFrameAlloc)
+	if _, err := io.CopyN(&buf, r, int64(n)); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
 }
 
 // Recv reads one envelope, blocking until a frame arrives or the
@@ -161,11 +188,13 @@ func (c *Conn) Recv() (Envelope, error) {
 		c.Close() // cannot resynchronize without consuming the frame
 		return env, fmt.Errorf("%w: %d bytes announced", ErrFrameTooLarge, n)
 	}
-	payload := make([]byte, n)
-	if _, err := io.ReadFull(c.raw, payload); err != nil {
+	payload, err := readPayload(c.raw, n)
+	if err != nil {
 		c.Close()
 		return env, fmt.Errorf("wire: read payload: %w", err)
 	}
+	mFramesRecv.Inc()
+	mBytesRecv.Add(uint64(4 + n))
 	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&env); err != nil {
 		return env, fmt.Errorf("wire: decode: %w", err)
 	}

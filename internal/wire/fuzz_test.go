@@ -1,0 +1,113 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"net"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// byteConn is a net.Conn that reads from a fixed byte stream and
+// discards writes — enough to drive Conn.Recv over arbitrary input.
+type byteConn struct {
+	r *bytes.Reader
+}
+
+func (c *byteConn) Read(p []byte) (int, error)       { return c.r.Read(p) }
+func (c *byteConn) Write(p []byte) (int, error)      { return len(p), nil }
+func (c *byteConn) Close() error                     { return nil }
+func (c *byteConn) LocalAddr() net.Addr              { return fakeAddr{} }
+func (c *byteConn) RemoteAddr() net.Addr             { return fakeAddr{} }
+func (c *byteConn) SetDeadline(time.Time) error      { return nil }
+func (c *byteConn) SetReadDeadline(time.Time) error  { return nil }
+func (c *byteConn) SetWriteDeadline(time.Time) error { return nil }
+
+type fakeAddr struct{}
+
+func (fakeAddr) Network() string { return "fake" }
+func (fakeAddr) String() string  { return "fake" }
+
+// encodeFrame renders one valid envelope as its wire bytes.
+func encodeFrame(t testing.TB, env Envelope) []byte {
+	t.Helper()
+	var sink bytes.Buffer
+	client, server := net.Pipe()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, _ = io.Copy(&sink, server)
+	}()
+	conn := NewConn(client)
+	if err := conn.Send(env); err != nil {
+		t.Fatal(err)
+	}
+	client.Close()
+	<-done
+	return sink.Bytes()
+}
+
+// FuzzFrameDecode feeds arbitrary byte streams to the frame decoder. It
+// must never panic and never allocate eagerly on the strength of a
+// hostile length prefix alone; any malformed input is just an error.
+func FuzzFrameDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add(encodeFrame(f, Envelope{ID: 1, Kind: KindRequest, Msg: pingMsg{}}))
+	f.Add(encodeFrame(f, Envelope{ID: 7, Kind: KindReply, Err: "boom"}))
+	// A 64 MB announcement with no payload behind it.
+	huge := binary.BigEndian.AppendUint32(nil, MaxFrameBytes)
+	f.Add(huge)
+	// An over-limit announcement.
+	f.Add(binary.BigEndian.AppendUint32(nil, MaxFrameBytes+1))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		conn := NewConn(&byteConn{r: bytes.NewReader(data)})
+		for {
+			if _, err := conn.Recv(); err != nil {
+				break
+			}
+		}
+	})
+}
+
+// TestRecvHostileLengthPrefix pins the progressive-allocation defence:
+// a peer announcing a near-maximum frame but delivering almost nothing
+// must cost bounded memory, not MaxFrameBytes.
+func TestRecvHostileLengthPrefix(t *testing.T) {
+	const announced = MaxFrameBytes - 1
+	data := binary.BigEndian.AppendUint32(nil, announced)
+	data = append(data, make([]byte, 16)...) // a sliver of payload, then EOF
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	conn := NewConn(&byteConn{r: bytes.NewReader(data)})
+	_, err := conn.Recv()
+	runtime.ReadMemStats(&after)
+
+	if err == nil {
+		t.Fatal("Recv succeeded on a truncated frame")
+	}
+	if errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("announced %d bytes is within MaxFrameBytes; got %v", announced, err)
+	}
+	// The two-tier readPayload caps the eager buffer at
+	// maxEagerFrameAlloc; allow generous slack for runtime noise.
+	if grew := after.TotalAlloc - before.TotalAlloc; grew > 4*maxEagerFrameAlloc {
+		t.Fatalf("Recv allocated %d bytes for a %d-byte announcement with 16 bytes delivered; want ≤ %d",
+			grew, announced, 4*maxEagerFrameAlloc)
+	}
+}
+
+// TestRecvOversizeAnnouncementRejected pins the hard limit.
+func TestRecvOversizeAnnouncementRejected(t *testing.T) {
+	data := binary.BigEndian.AppendUint32(nil, MaxFrameBytes+1)
+	conn := NewConn(&byteConn{r: bytes.NewReader(data)})
+	if _, err := conn.Recv(); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("err = %v, want ErrFrameTooLarge", err)
+	}
+}

@@ -1,0 +1,36 @@
+package wire
+
+import (
+	"condor/internal/telemetry"
+)
+
+// Process-wide wire-layer telemetry (see docs/OBSERVABILITY.md). All
+// series are interned once here; the per-frame and per-RPC paths only
+// touch atomics.
+var (
+	mRPCLatency = telemetry.NewHistogram("condor_wire_rpc_latency_seconds",
+		"Round-trip latency of one wire RPC, from request send to matching reply.", nil)
+	mRPCErrors = telemetry.NewCounter("condor_wire_rpc_errors_total",
+		"Wire RPCs that failed in transport (connection died or deadline expired) before a reply arrived.")
+	mBytesSent = telemetry.NewCounter("condor_wire_bytes_sent_total",
+		"Payload and framing bytes written to wire connections.")
+	mBytesRecv = telemetry.NewCounter("condor_wire_bytes_recv_total",
+		"Payload and framing bytes read from wire connections.")
+	mFramesSent = telemetry.NewCounter("condor_wire_frames_sent_total",
+		"Frames written to wire connections (heartbeats included).")
+	mFramesRecv = telemetry.NewCounter("condor_wire_frames_recv_total",
+		"Frames read from wire connections (heartbeats included).")
+
+	// Pool events mirror PoolStats process-wide, summed over every
+	// ClientPool in the process.
+	mPoolDials = telemetry.NewCounter("condor_wire_pool_dials_total",
+		"Fresh connections opened by client pools.")
+	mPoolReuses = telemetry.NewCounter("condor_wire_pool_reuses_total",
+		"Calls served by an already-cached pooled connection.")
+	mPoolReconnects = telemetry.NewCounter("condor_wire_pool_reconnects_total",
+		"Dials that replaced a pooled connection found dead at use time.")
+	mPoolEvictions = telemetry.NewCounter("condor_wire_pool_evictions_total",
+		"Pooled connections closed by the janitor (idle or dead).")
+	mPoolRetries = telemetry.NewCounter("condor_wire_pool_retries_total",
+		"Extra attempts made by CallRetry after a transient transport fault.")
+)

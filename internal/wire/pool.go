@@ -134,6 +134,7 @@ func (p *ClientPool) Get(addr string) (*Peer, error) {
 		} else {
 			e.lastUsed = time.Now()
 			p.stats.Reuses++
+			mPoolReuses.Inc()
 			peer := e.peer
 			p.mu.Unlock()
 			return peer, nil
@@ -167,8 +168,10 @@ func (p *ClientPool) Get(addr string) (*Peer, error) {
 		return existing, nil
 	}
 	p.stats.Dials++
+	mPoolDials.Inc()
 	if _, wasConnected := p.retired[addr]; wasConnected {
 		p.stats.Reconnects++
+		mPoolReconnects.Inc()
 		delete(p.retired, addr)
 	}
 	p.conns[addr] = &poolEntry{peer: peer, lastUsed: time.Now()}
@@ -214,6 +217,7 @@ func (p *ClientPool) CallRetry(ctx context.Context, addr string, msg any) (any, 
 			p.mu.Lock()
 			p.stats.Retries++
 			p.mu.Unlock()
+			mPoolRetries.Inc()
 		}
 		var err error
 		reply, err = p.Call(ctx, addr, msg)
@@ -303,6 +307,7 @@ func (p *ClientPool) evictIdle(now time.Time) {
 			}
 			victims = append(victims, e.peer)
 			p.stats.Evictions++
+			mPoolEvictions.Inc()
 		}
 	}
 	p.mu.Unlock()
