@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all verify build vet test race chaos bench bench-baseline fuzz sim examples clean
+.PHONY: all verify build lint vet test race chaos bench bench-baseline fuzz sim examples clean
 
 all: verify
 
@@ -12,6 +12,14 @@ verify: build vet test race chaos
 
 build:
 	$(GO) build ./...
+
+# Static gate: go vet plus a gofmt diff check that fails on any
+# unformatted file (gofmt -l lists but exits 0, so test the output).
+lint: vet
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
 
 vet:
 	$(GO) vet ./...
@@ -35,12 +43,14 @@ bench:
 	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
 
 # Re-measure the committed benchmark baseline (BENCH_baseline.json):
-# the telemetry hot path, wire round trips, journal appends, and the
-# coordinator cycle at 100 and 1000 stations.
+# the telemetry hot path, wire round trips, journal appends, the
+# coordinator cycle at 100 and 1000 stations, and the trace hot paths
+# (span start/finish and the sampled-out fast path, which must stay at
+# 0 allocs/op).
 bench-baseline:
 	$(GO) test -run NONE -bench \
-		'BenchmarkTelemetryObserve$$|BenchmarkTelemetryCounter$$|BenchmarkFrameRoundTrip$$|BenchmarkJournalAppend|BenchmarkCycle100$$|BenchmarkCycle1000$$' \
-		-benchmem ./internal/telemetry/ ./internal/wire/ ./internal/journal/ ./internal/coordinator/ \
+		'BenchmarkTelemetryObserve$$|BenchmarkTelemetryCounter$$|BenchmarkFrameRoundTrip$$|BenchmarkJournalAppend|BenchmarkCycle100$$|BenchmarkCycle1000$$|BenchmarkTraceSpan$$|BenchmarkTraceSampledOut$$|BenchmarkTraceparentParse$$' \
+		-benchmem ./internal/telemetry/ ./internal/wire/ ./internal/journal/ ./internal/coordinator/ ./internal/trace/ \
 		| $(GO) run ./cmd/bench2json > BENCH_baseline.json
 	@cat BENCH_baseline.json
 

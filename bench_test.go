@@ -491,7 +491,7 @@ type syscallServer struct {
 func newSyscallServer() (*syscallServer, error) {
 	s := &syscallServer{host: cvm.NewMemHost()}
 	srv, err := wire.NewServer("127.0.0.1:0", func(p *wire.Peer) wire.Handler {
-		return func(msg any) (any, error) {
+		return func(_ context.Context, msg any) (any, error) {
 			m, ok := msg.(proto.SyscallMsg)
 			if !ok {
 				return nil, fmt.Errorf("unexpected %T", msg)

@@ -1,33 +1,50 @@
 // Command condor-history prints a daemon's recent event log: the
 // submit/place/suspend/vacate/complete trail of jobs from a station, or
 // the grant/preempt/reservation decisions from the coordinator. With
-// -job it shows one job's full lifecycle.
+// -job it shows one job's full lifecycle; with -trace it shows every
+// event stitched to one distributed trace. With -waterfall it switches
+// from events to spans: it fetches a daemon's /traces endpoint and
+// renders the ConGUSTo-style "where did the time go" timeline.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	"net/url"
 	"time"
 
 	"condor/internal/proto"
+	"condor/internal/trace"
 	"condor/internal/wire"
 )
 
 func main() {
 	var (
-		addr  = flag.String("addr", "127.0.0.1:9620", "station or coordinator address")
-		jobID = flag.String("job", "", "show only this job's trail")
-		limit = flag.Int("limit", 50, "max events (0 = all retained)")
+		addr      = flag.String("addr", "127.0.0.1:9620", "station or coordinator address")
+		jobID     = flag.String("job", "", "show only this job's trail")
+		traceID   = flag.String("trace", "", "show only events of this trace (32 hex chars)")
+		limit     = flag.Int("limit", 50, "max events (0 = all retained)")
+		waterfall = flag.Bool("waterfall", false, "render span waterfalls from -traces instead of events")
+		tracesURL = flag.String("traces", "http://127.0.0.1:9100/traces",
+			"a daemon's /traces endpoint (used with -waterfall)")
 	)
 	flag.Parse()
-	if err := run(*addr, *jobID, *limit); err != nil {
+	var err error
+	if *waterfall {
+		err = runWaterfall(*tracesURL, *traceID, *jobID)
+	} else {
+		err = runEvents(*addr, *jobID, *traceID, *limit)
+	}
+	if err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(addr, jobID string, limit int) error {
+func runEvents(addr, jobID, traceID string, limit int) error {
 	peer, err := wire.Dial(addr, 5*time.Second, nil)
 	if err != nil {
 		return err
@@ -35,7 +52,7 @@ func run(addr, jobID string, limit int) error {
 	defer peer.Close()
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
-	reply, err := peer.Call(ctx, proto.HistoryRequest{JobID: jobID, Limit: limit})
+	reply, err := peer.Call(ctx, proto.HistoryRequest{JobID: jobID, Limit: limit, TraceID: traceID})
 	if err != nil {
 		return err
 	}
@@ -50,5 +67,38 @@ func run(addr, jobID string, limit int) error {
 	for _, e := range hr.Events {
 		fmt.Println(e.String())
 	}
+	return nil
+}
+
+// runWaterfall fetches the /traces page (optionally filtered) and prints
+// each trace as an indented timeline.
+func runWaterfall(tracesURL, traceID, jobID string) error {
+	u, err := url.Parse(tracesURL)
+	if err != nil {
+		return fmt.Errorf("bad -traces URL: %w", err)
+	}
+	q := u.Query()
+	if traceID != "" {
+		q.Set("trace", traceID)
+	}
+	if jobID != "" {
+		q.Set("job", jobID)
+	}
+	u.RawQuery = q.Encode()
+
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Get(u.String())
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: %s", u, resp.Status)
+	}
+	var page trace.Page
+	if err := json.NewDecoder(resp.Body).Decode(&page); err != nil {
+		return fmt.Errorf("decode %s: %w", u, err)
+	}
+	fmt.Print(trace.RenderWaterfall(page))
 	return nil
 }

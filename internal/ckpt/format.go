@@ -56,6 +56,12 @@ type Meta struct {
 	// Priority is the job's local queue priority, preserved across a
 	// schedd restart for the same reason.
 	Priority int `json:"priority,omitempty"`
+	// TraceID is the job's distributed-trace identity (32 lowercase hex
+	// chars, see internal/trace). It rides every checkpoint generation so
+	// one trace keeps following the job across vacate/migrate hops,
+	// schedd restarts, and placements through peers that predate trace
+	// propagation on the wire.
+	TraceID string `json:"traceID,omitempty"`
 }
 
 // flag bits in the header's flags word.

@@ -1,6 +1,7 @@
 package coordinator
 
 import (
+	"context"
 	"fmt"
 	"testing"
 	"time"
@@ -16,7 +17,7 @@ func benchPool(b *testing.B, n int) *Coordinator {
 	const servers = 16
 	addrs := make([]string, 0, servers)
 	for i := 0; i < servers; i++ {
-		srv := fakeStation(b, func(msg any) (any, error) {
+		srv := fakeStation(b, func(_ context.Context, msg any) (any, error) {
 			return proto.PollReply{State: proto.StationIdle}, nil
 		})
 		addrs = append(addrs, srv.Addr())

@@ -1,6 +1,7 @@
 package coordinator
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 	"testing"
@@ -19,7 +20,7 @@ func TestCycleBoundsPollConcurrency(t *testing.T) {
 		cap      = 4
 	)
 	var inFlight, peak atomic.Int64
-	srv := fakeStation(t, func(msg any) (any, error) {
+	srv := fakeStation(t, func(_ context.Context, msg any) (any, error) {
 		cur := inFlight.Add(1)
 		defer inFlight.Add(-1)
 		for {

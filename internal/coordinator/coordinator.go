@@ -20,6 +20,7 @@ import (
 	"condor/internal/policy"
 	"condor/internal/proto"
 	"condor/internal/telemetry"
+	"condor/internal/trace"
 	"condor/internal/updown"
 	"condor/internal/wire"
 )
@@ -397,7 +398,7 @@ func (c *Coordinator) heldCountLocked() map[string]int {
 
 // handlerFor serves the coordinator's RPC surface.
 func (c *Coordinator) handlerFor(peer *wire.Peer) wire.Handler {
-	return func(msg any) (any, error) {
+	return func(ctx context.Context, msg any) (any, error) {
 		switch m := msg.(type) {
 		case proto.RegisterRequest:
 			if m.Name == "" || m.Addr == "" {
@@ -421,9 +422,12 @@ func (c *Coordinator) handlerFor(peer *wire.Peer) wire.Handler {
 			return proto.CancelReservationReply{Cancelled: c.CancelReservation(m.Station)}, nil
 		case proto.HistoryRequest:
 			var events []eventlog.Event
-			if m.JobID != "" {
+			switch {
+			case m.TraceID != "":
+				events = c.events.ForTrace(m.TraceID)
+			case m.JobID != "":
 				events = c.events.ForJob(m.JobID)
-			} else {
+			default:
 				events = c.events.Recent(m.Limit)
 			}
 			return proto.HistoryReply{Events: events}, nil
@@ -619,9 +623,11 @@ func (c *Coordinator) Cycle() {
 	}
 
 	// Act.
+	incarnation := c.incarnation()
 	for _, g := range decision.Grants {
 		c.bump(func(st *Stats) { st.Grants++ })
 		mGrants.Inc()
+		grantStart := time.Now()
 		reply, err := c.callStation(addrs[g.Requester], proto.GrantRequest{
 			ExecName: g.Exec,
 			ExecAddr: addrs[g.Exec],
@@ -636,9 +642,30 @@ func (c *Coordinator) Cycle() {
 		if gr, ok := reply.(proto.GrantReply); ok && gr.Used {
 			c.bump(func(st *Stats) { st.GrantsUsed++ })
 			mGrantsUsed.Inc()
+			// The reply names the placed job's trace; record the grant span
+			// after the fact, backdated to cover the grant RPC. Old stations
+			// send no trace and the span is simply skipped.
+			var traceID string
+			if sc, ok := trace.ParseTraceparent(gr.Trace); ok && sc.Sampled {
+				traceID = sc.TraceID.String()
+				trace.Record(trace.Span{
+					TraceID: sc.TraceID,
+					SpanID:  trace.NewSpanID(),
+					Parent:  sc.SpanID,
+					Name:    "grant",
+					Job:     gr.JobID,
+					Station: g.Exec,
+					Start:   grantStart,
+					End:     time.Now(),
+					Attrs: []trace.Attr{
+						{Key: "requester", Value: g.Requester},
+						{Key: "incarnation", Value: fmt.Sprint(incarnation)},
+					},
+				})
+			}
 			c.events.Append(eventlog.Event{
 				Kind: eventlog.KindGrant, Job: gr.JobID, Station: g.Exec,
-				Detail: "granted to " + g.Requester,
+				Detail: "granted to " + g.Requester, TraceID: traceID,
 			})
 			// Mark the exec station claimed immediately so this cycle's
 			// state is not granted twice before the next poll.
@@ -667,6 +694,16 @@ func (c *Coordinator) Cycle() {
 		})
 	}
 	c.enforceReservations(addrs)
+}
+
+// incarnation returns which start of this coordinator's state directory
+// is running (0 for in-memory coordinators). Stamped on grant spans so a
+// trace shows when allocation decisions straddle a coordinator restart.
+func (c *Coordinator) incarnation() uint64 {
+	if c.journal == nil {
+		return 0
+	}
+	return c.journal.Stats().Incarnation
 }
 
 func (c *Coordinator) bump(f func(*Stats)) {

@@ -1,6 +1,7 @@
 package coordinator
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -61,7 +62,7 @@ func TestSanitizeZeroSubConfigsStillMeanDefaults(t *testing.T) {
 
 // fakeStation answers polls on the wire like a schedd would, via a
 // caller-supplied handler.
-func fakeStation(t testing.TB, handle func(msg any) (any, error)) *wire.Server {
+func fakeStation(t testing.TB, handle func(_ context.Context, msg any) (any, error)) *wire.Server {
 	t.Helper()
 	srv, err := wire.NewServer("127.0.0.1:0", func(pe *wire.Peer) wire.Handler {
 		return handle
@@ -80,7 +81,7 @@ func TestReRegistrationDuringPollSurvivesStaleFailure(t *testing.T) {
 	// fresh registration — the failure belongs to the old address.
 	polled := make(chan struct{}, 1)
 	release := make(chan struct{})
-	old := fakeStation(t, func(msg any) (any, error) {
+	old := fakeStation(t, func(_ context.Context, msg any) (any, error) {
 		select {
 		case polled <- struct{}{}:
 		default:
@@ -88,7 +89,7 @@ func TestReRegistrationDuringPollSurvivesStaleFailure(t *testing.T) {
 		<-release
 		return nil, errors.New("station restarting")
 	})
-	fresh := fakeStation(t, func(msg any) (any, error) {
+	fresh := fakeStation(t, func(_ context.Context, msg any) (any, error) {
 		return proto.PollReply{Name: "ws", State: proto.StationIdle}, nil
 	})
 
@@ -125,7 +126,7 @@ func TestReRegistrationDuringPollIgnoresStaleSuccess(t *testing.T) {
 	// incarnation and must not overwrite the fresh registration's state.
 	polled := make(chan struct{}, 1)
 	release := make(chan struct{})
-	old := fakeStation(t, func(msg any) (any, error) {
+	old := fakeStation(t, func(_ context.Context, msg any) (any, error) {
 		select {
 		case polled <- struct{}{}:
 		default:
@@ -134,7 +135,7 @@ func TestReRegistrationDuringPollIgnoresStaleSuccess(t *testing.T) {
 		return proto.PollReply{Name: "ws", State: proto.StationClaimed,
 			ForeignJob: "ghost", ForeignOwnerStation: "nobody"}, nil
 	})
-	fresh := fakeStation(t, func(msg any) (any, error) {
+	fresh := fakeStation(t, func(_ context.Context, msg any) (any, error) {
 		return proto.PollReply{Name: "ws", State: proto.StationIdle}, nil
 	})
 
@@ -195,7 +196,7 @@ func TestCycleBoundedWithBlackHoledStation(t *testing.T) {
 		}
 	}()
 
-	healthy := fakeStation(t, func(msg any) (any, error) {
+	healthy := fakeStation(t, func(_ context.Context, msg any) (any, error) {
 		return proto.PollReply{Name: "ok", State: proto.StationIdle}, nil
 	})
 
@@ -239,7 +240,7 @@ func TestCyclesReuseStationConnections(t *testing.T) {
 	defer coord.Close()
 	for i := 0; i < stations; i++ {
 		name := fmt.Sprintf("ws%d", i)
-		srv := fakeStation(t, func(msg any) (any, error) {
+		srv := fakeStation(t, func(_ context.Context, msg any) (any, error) {
 			return proto.PollReply{Name: name, State: proto.StationOwner}, nil
 		})
 		coord.Register(name, srv.Addr())
@@ -262,7 +263,7 @@ func TestDialPerRPCAblationStillWorks(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer coord.Close()
-	srv := fakeStation(t, func(msg any) (any, error) {
+	srv := fakeStation(t, func(_ context.Context, msg any) (any, error) {
 		return proto.PollReply{Name: "ws", State: proto.StationIdle}, nil
 	})
 	coord.Register("ws", srv.Addr())
@@ -287,7 +288,7 @@ func benchmarkCycle(b *testing.B, dialPerRPC bool) {
 	defer coord.Close()
 	for i := 0; i < stations; i++ {
 		name := fmt.Sprintf("ws%d", i)
-		srv := fakeStation(b, func(msg any) (any, error) {
+		srv := fakeStation(b, func(_ context.Context, msg any) (any, error) {
 			return proto.PollReply{Name: name, State: proto.StationOwner}, nil
 		})
 		coord.Register(name, srv.Addr())

@@ -43,6 +43,10 @@ type Event struct {
 	Job     string    `json:"job,omitempty"`
 	Station string    `json:"station,omitempty"`
 	Detail  string    `json:"detail,omitempty"`
+	// TraceID stitches the event to its job's distributed trace (32
+	// lowercase hex chars, see internal/trace), so condor-history can
+	// pivot from an event trail to the /traces span timeline and back.
+	TraceID string `json:"traceID,omitempty"`
 }
 
 // String renders the event as one line.
@@ -57,6 +61,15 @@ func (e Event) String() string {
 	}
 	if e.Detail != "" {
 		fmt.Fprintf(&b, " (%s)", e.Detail)
+	}
+	if e.TraceID != "" {
+		// The 8-char prefix is enough to eyeball-match against /traces
+		// output without drowning the line.
+		short := e.TraceID
+		if len(short) > 8 {
+			short = short[:8]
+		}
+		fmt.Fprintf(&b, " trace=%s", short)
 	}
 	return b.String()
 }
@@ -128,6 +141,21 @@ func (l *Log) ForJob(jobID string) []Event {
 	var out []Event
 	for _, e := range l.Recent(0) {
 		if e.Job == jobID {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// ForTrace returns the retained events stitched to one trace ID, oldest
+// first — the event-side view of a /traces timeline.
+func (l *Log) ForTrace(traceID string) []Event {
+	var out []Event
+	if traceID == "" {
+		return out
+	}
+	for _, e := range l.Recent(0) {
+		if e.TraceID == traceID {
 			out = append(out, e)
 		}
 	}

@@ -120,3 +120,38 @@ func TestZeroCapacityDefaults(t *testing.T) {
 		t.Fatal("default capacity log broken")
 	}
 }
+
+func TestForTrace(t *testing.T) {
+	l := New(16)
+	const tid = "4bf92f3577b34da6a3ce929d0e0e4736"
+	l.Append(Event{Kind: KindSubmit, Job: "a", TraceID: tid})
+	l.Append(Event{Kind: KindSubmit, Job: "b", TraceID: "feedfacefeedfacefeedfacefeedface"})
+	l.Append(Event{Kind: KindGrant, Job: "a", Station: "ws2", TraceID: tid})
+	l.Append(Event{Kind: KindPlace, Job: "a", Station: "ws2"}) // untraced event, same job
+	l.Append(Event{Kind: KindComplete, Job: "a", TraceID: tid})
+	trail := l.ForTrace(tid)
+	if len(trail) != 3 {
+		t.Fatalf("trail = %v", trail)
+	}
+	if trail[0].Kind != KindSubmit || trail[1].Kind != KindGrant || trail[2].Kind != KindComplete {
+		t.Fatalf("trail order = %v", trail)
+	}
+	if got := l.ForTrace(""); got != nil {
+		t.Fatalf("empty trace ID must match nothing, got %v", got)
+	}
+}
+
+func TestEventStringTraceSuffix(t *testing.T) {
+	e := Event{
+		At:      time.Date(1987, 11, 2, 14, 30, 5, 0, time.UTC),
+		Kind:    KindGrant,
+		Job:     "ws1/3",
+		TraceID: "4bf92f3577b34da6a3ce929d0e0e4736",
+	}
+	if s := e.String(); !strings.Contains(s, "trace=4bf92f35") {
+		t.Fatalf("%q missing shortened trace suffix", s)
+	}
+	if s := (Event{Kind: KindSubmit, Job: "x"}).String(); strings.Contains(s, "trace=") {
+		t.Fatalf("untraced event %q must not mention a trace", s)
+	}
+}

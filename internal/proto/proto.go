@@ -254,6 +254,10 @@ type GrantReply struct {
 	JobID string
 	// Reason explains an unused grant (no jobs left, pacing, disk, ...).
 	Reason string
+	// Trace is the placed job's root span context (a W3C traceparent)
+	// when the grant was used, letting the coordinator record its grant
+	// span into the job's trace. Empty from stations predating tracing.
+	Trace string
 }
 
 // PreemptRequest tells the execution station to vacate the foreign job it
@@ -303,10 +307,13 @@ type CancelReservationReply struct {
 }
 
 // HistoryRequest asks a daemon for its recent event log. JobID filters
-// to one job's trail; Limit caps the number of events (0 = all retained).
+// to one job's trail; TraceID filters to events stitched to one trace
+// (32 hex chars, see internal/trace); Limit caps the number of events
+// (0 = all retained).
 type HistoryRequest struct {
-	JobID string
-	Limit int
+	JobID   string
+	Limit   int
+	TraceID string
 }
 
 // HistoryReply carries the events, oldest first.

@@ -4,11 +4,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"condor/internal/ckpt"
 	"condor/internal/cvm"
 	"condor/internal/proto"
+	"condor/internal/trace"
 	"condor/internal/wire"
 )
 
@@ -44,6 +46,12 @@ type execution struct {
 	lastCkpt      []byte
 	lastCkptSteps uint64
 	ctl           chan ctl
+	// span covers the whole residency of the job on this machine; it is
+	// finished on every exit path of run (complete, fault, vacate, kill,
+	// connection loss). traceCtx is its propagable identity, the parent
+	// of every syscall/checkpoint/vacate span this execution records.
+	span     trace.ActiveSpan
+	traceCtx trace.SpanContext
 }
 
 // post delivers a control message without ever blocking the scan loop; a
@@ -66,6 +74,7 @@ func (e *execution) abort() {
 // run is the executor loop: interleave VM slices with control handling.
 func (e *execution) run() {
 	defer e.starter.clear(e)
+	defer e.span.Finish()
 	cfg := e.starter.cfg
 	suspended := false
 	lastPeriodic := time.Now()
@@ -156,16 +165,23 @@ func (e *execution) run() {
 
 		if cfg.PeriodicCheckpoint > 0 && time.Since(lastPeriodic) >= cfg.PeriodicCheckpoint {
 			lastPeriodic = time.Now()
+			cp := trace.StartChildIfSampled(e.traceCtx, "checkpoint")
+			cp.SetJob(e.jobID)
+			cp.SetAttr("periodic", "true")
 			if blob, err := e.snapshotBlob(); err == nil {
 				e.lastCkpt = blob
 				e.lastCkptSteps = e.vm.Steps()
-				_ = e.peer.Notify(proto.JobCheckpointMsg{
-					JobID:      e.jobID,
-					Checkpoint: blob,
-					Steps:      e.vm.Steps(),
-				})
+				_ = e.peer.NotifyCtx(trace.ContextWith(context.Background(), cp.Context()),
+					proto.JobCheckpointMsg{
+						JobID:      e.jobID,
+						Checkpoint: blob,
+						Steps:      e.vm.Steps(),
+					})
 				e.starter.bump(func(s *StarterStats) { s.PeriodicCkpts++ })
+			} else {
+				cp.SetError(err)
 			}
+			cp.Finish()
 		}
 		if cfg.SliceDelay > 0 {
 			time.Sleep(cfg.SliceDelay)
@@ -189,20 +205,28 @@ func (e *execution) snapshotBlob() ([]byte, error) {
 
 // vacate checkpoints the job and ships it to the shadow.
 func (e *execution) vacate(reason string) {
+	cp := trace.StartChildIfSampled(e.traceCtx, "checkpoint")
+	cp.SetJob(e.jobID)
 	blob, err := e.snapshotBlob()
 	if err != nil {
 		// Encoding can only fail on an invalid image; fall back to the
 		// last good checkpoint rather than losing the job.
+		cp.SetError(err)
 		blob = e.lastCkpt
 	}
+	cp.Finish()
 	e.starter.bump(func(s *StarterStats) { s.Vacated++ })
 	e.starter.clear(e)
-	e.ship(proto.JobVacatedMsg{
+	sp := trace.StartChildIfSampled(e.traceCtx, "vacate")
+	sp.SetJob(e.jobID)
+	sp.SetAttr("reason", reason)
+	e.ship(sp.Context(), proto.JobVacatedMsg{
 		JobID:      e.jobID,
 		Checkpoint: blob,
 		Reason:     reason,
 		Steps:      e.vm.Steps(),
 	})
+	sp.Finish()
 }
 
 // killWithLastCheckpoint implements the §4 kill-immediately policy: no
@@ -210,25 +234,35 @@ func (e *execution) vacate(reason string) {
 func (e *execution) killWithLastCheckpoint(reason string) {
 	e.starter.bump(func(s *StarterStats) { s.Vacated++ })
 	e.starter.clear(e)
-	e.ship(proto.JobVacatedMsg{
+	sp := trace.StartChildIfSampled(e.traceCtx, "vacate")
+	sp.SetJob(e.jobID)
+	sp.SetAttr("reason", reason)
+	sp.SetAttr("killed", "true")
+	e.ship(sp.Context(), proto.JobVacatedMsg{
 		JobID:      e.jobID,
 		Checkpoint: e.lastCkpt,
 		Reason:     fmt.Sprintf("%s (killed; resuming from last checkpoint)", reason),
 		Steps:      e.lastCkptSteps,
 	})
+	sp.Finish()
 }
 
-func (e *execution) ship(msg proto.JobVacatedMsg) {
+func (e *execution) ship(sc trace.SpanContext, msg proto.JobVacatedMsg) {
 	ctx, cancel := context.WithTimeout(context.Background(), e.starter.cfg.SyscallTimeout)
 	defer cancel()
-	_, _ = e.peer.Call(ctx, msg)
+	if !sc.Valid() {
+		sc = e.traceCtx
+	}
+	_, _ = e.peer.Call(trace.ContextWith(ctx, sc), msg)
 	e.peer.Close()
 }
 
 func (e *execution) finish(msg proto.JobDoneMsg) {
 	ctx, cancel := context.WithTimeout(context.Background(), e.starter.cfg.SyscallTimeout)
 	defer cancel()
-	_, _ = e.peer.Call(ctx, msg)
+	// Carry the exec span so the shadow's terminal "complete" span hangs
+	// off it in the tree.
+	_, _ = e.peer.Call(trace.ContextWith(ctx, e.traceCtx), msg)
 	e.peer.Close()
 }
 
@@ -237,6 +271,12 @@ type remoteHandler struct {
 	peer    *wire.Peer
 	jobID   string
 	timeout time.Duration
+	// parent/every drive head-based syscall sampling: within a traced
+	// execution the first forwarded syscall is always recorded, then
+	// every Nth. The sampled-out path costs one atomic add and a branch.
+	parent trace.SpanContext
+	every  uint64
+	n      atomic.Uint64
 }
 
 var _ cvm.SyscallHandler = (*remoteHandler)(nil)
@@ -246,13 +286,30 @@ var _ cvm.SyscallHandler = (*remoteHandler)(nil)
 func (h *remoteHandler) Syscall(req cvm.SyscallRequest) (cvm.SyscallReply, error) {
 	ctx, cancel := context.WithTimeout(context.Background(), h.timeout)
 	defer cancel()
+	sp := trace.StartNth(h.parent, "syscall", h.n.Add(1), h.every)
+	sp.SetJob(h.jobID)
+	if sp.Recording() {
+		// Only sampled syscalls carry trace context to the shadow, so
+		// the home machine records exactly the matching child spans.
+		ctx = trace.ContextWith(ctx, sp.Context())
+	}
 	start := time.Now()
 	reply, err := h.peer.Call(ctx, proto.SyscallMsg{JobID: h.jobID, Req: req})
 	if err != nil {
+		sp.SetError(err)
+		sp.Finish()
 		mSyscallErrors.Inc()
 		return cvm.SyscallReply{}, fmt.Errorf("ru: syscall forward: %w", err)
 	}
-	mSyscallRTT.ObserveDuration(time.Since(start))
+	rtt := time.Since(start)
+	if sp.Recording() {
+		// Exemplar: pin the latest traced syscall to the RTT histogram
+		// so operators can jump from the aggregate to one real trace.
+		mSyscallRTT.ObserveDurationExemplar(rtt, sp.Context().Traceparent())
+	} else {
+		mSyscallRTT.ObserveDuration(rtt)
+	}
+	sp.Finish()
 	rep, ok := reply.(proto.SyscallReplyMsg)
 	if !ok {
 		return cvm.SyscallReply{}, fmt.Errorf("ru: unexpected syscall reply %T", reply)

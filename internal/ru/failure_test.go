@@ -1,6 +1,7 @@
 package ru
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"sync"
@@ -44,7 +45,7 @@ func TestShadowFailureDuringSyscallLosesNothingDurable(t *testing.T) {
 	host := &flakyHost{inner: cvm.NewMemHost()}
 	rec := newRecorder()
 	blob := freshBlob(t, "j", cvm.SumProgram(2_000_000))
-	sh, err := Place(s.server.Addr(), proto.PlaceRequest{
+	sh, err := Place(context.Background(), s.server.Addr(), proto.PlaceRequest{
 		JobID: "j", Owner: "t", HomeHost: "home", Checkpoint: blob,
 	}, host, rec, PlaceConfig{})
 	if err != nil {
@@ -132,7 +133,7 @@ func TestTamperedCheckpointRejectedAtPlacement(t *testing.T) {
 	s := newSite(t, StarterConfig{})
 	blob := freshBlob(t, "j", cvm.SumProgram(10))
 	blob[len(blob)-1] ^= 0xff // corrupt payload; CRC must catch it
-	_, err := Place(s.server.Addr(), proto.PlaceRequest{
+	_, err := Place(context.Background(), s.server.Addr(), proto.PlaceRequest{
 		JobID: "j", Checkpoint: blob,
 	}, cvm.NewMemHost(), newRecorder(), PlaceConfig{})
 	if !errors.Is(err, ErrPlacementRejected) {
@@ -157,7 +158,7 @@ func TestDoublePlacementRace(t *testing.T) {
 		go func() {
 			rec := newRecorder()
 			jobID := []string{"race-a", "race-b"}[i]
-			sh, err := Place(s.server.Addr(), proto.PlaceRequest{
+			sh, err := Place(context.Background(), s.server.Addr(), proto.PlaceRequest{
 				JobID:      jobID,
 				Checkpoint: freshBlob(t, jobID, cvm.SpinProgram(200_000_000)),
 			}, cvm.NewMemHost(), rec, PlaceConfig{})

@@ -1,6 +1,7 @@
 package ru
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"sync"
@@ -147,7 +148,7 @@ func freshBlob(t *testing.T, jobID string, prog *cvm.Program) []byte {
 
 func place(t *testing.T, s *site, jobID string, blob []byte, host cvm.SyscallHandler, rec *recorder) *Shadow {
 	t.Helper()
-	sh, err := Place(s.server.Addr(), proto.PlaceRequest{
+	sh, err := Place(context.Background(), s.server.Addr(), proto.PlaceRequest{
 		JobID:      jobID,
 		Owner:      "tester",
 		HomeHost:   "home",
@@ -217,7 +218,7 @@ func TestPlacementRejectedWhenOwnerActive(t *testing.T) {
 	s := newSite(t, StarterConfig{})
 	s.monitor.SetActive(true)
 	rec := newRecorder()
-	_, err := Place(s.server.Addr(), proto.PlaceRequest{
+	_, err := Place(context.Background(), s.server.Addr(), proto.PlaceRequest{
 		JobID:      "j",
 		Checkpoint: freshBlob(t, "j", cvm.SpinProgram(10)),
 	}, cvm.NewMemHost(), rec, PlaceConfig{})
@@ -234,7 +235,7 @@ func TestPlacementRejectedWhenClaimed(t *testing.T) {
 	rec := newRecorder()
 	place(t, s, "long", freshBlob(t, "long", cvm.SpinProgram(50_000_000)), cvm.NewMemHost(), rec)
 	rec2 := newRecorder()
-	_, err := Place(s.server.Addr(), proto.PlaceRequest{
+	_, err := Place(context.Background(), s.server.Addr(), proto.PlaceRequest{
 		JobID:      "second",
 		Checkpoint: freshBlob(t, "second", cvm.SpinProgram(10)),
 	}, cvm.NewMemHost(), rec2, PlaceConfig{})
@@ -246,7 +247,7 @@ func TestPlacementRejectedWhenClaimed(t *testing.T) {
 func TestPlacementRejectsCorruptCheckpoint(t *testing.T) {
 	s := newSite(t, StarterConfig{})
 	rec := newRecorder()
-	_, err := Place(s.server.Addr(), proto.PlaceRequest{
+	_, err := Place(context.Background(), s.server.Addr(), proto.PlaceRequest{
 		JobID:      "j",
 		Checkpoint: []byte("garbage"),
 	}, cvm.NewMemHost(), rec, PlaceConfig{})
@@ -504,15 +505,15 @@ func TestInitialCheckpointMetaDefaults(t *testing.T) {
 func TestPlaceInputValidation(t *testing.T) {
 	s := newSite(t, StarterConfig{})
 	blob := freshBlob(t, "j", cvm.SpinProgram(1))
-	if _, err := Place(s.server.Addr(), proto.PlaceRequest{JobID: "j", Checkpoint: blob},
+	if _, err := Place(context.Background(), s.server.Addr(), proto.PlaceRequest{JobID: "j", Checkpoint: blob},
 		nil, newRecorder(), PlaceConfig{}); err == nil {
 		t.Fatal("nil handler accepted")
 	}
-	if _, err := Place(s.server.Addr(), proto.PlaceRequest{JobID: "j", Checkpoint: blob},
+	if _, err := Place(context.Background(), s.server.Addr(), proto.PlaceRequest{JobID: "j", Checkpoint: blob},
 		cvm.NewMemHost(), nil, PlaceConfig{}); err == nil {
 		t.Fatal("nil events accepted")
 	}
-	if _, err := Place("127.0.0.1:1", proto.PlaceRequest{JobID: "j", Checkpoint: blob},
+	if _, err := Place(context.Background(), "127.0.0.1:1", proto.PlaceRequest{JobID: "j", Checkpoint: blob},
 		cvm.NewMemHost(), newRecorder(), PlaceConfig{DialTimeout: 100 * time.Millisecond}); err == nil {
 		t.Fatal("dial to dead port succeeded")
 	}

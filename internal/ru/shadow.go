@@ -10,6 +10,7 @@ import (
 
 	"condor/internal/cvm"
 	"condor/internal/proto"
+	"condor/internal/trace"
 	"condor/internal/wire"
 )
 
@@ -103,8 +104,12 @@ func (c *PlaceConfig) sanitize() {
 
 // Place ships a job to the starter at execAddr and returns its shadow.
 // The checkpoint blob is the job's full state (sequence zero for a fresh
-// job). handler executes the job's system calls on this machine.
+// job). handler executes the job's system calls on this machine. ctx
+// carries the caller's span context (trace.ContextWith) so the starter's
+// execution joins the job's trace; context.Background() is fine for
+// untraced callers.
 func Place(
+	ctx context.Context,
 	execAddr string,
 	req proto.PlaceRequest,
 	handler cvm.SyscallHandler,
@@ -133,7 +138,10 @@ func Place(
 			Handler:      s.handle,
 		})
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), cfg.PlaceTimeout)
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ctx, cancel := context.WithTimeout(ctx, cfg.PlaceTimeout)
 	defer cancel()
 	var peer *wire.Peer
 	var err error
@@ -215,21 +223,31 @@ func (s *Shadow) markTerminal() {
 	s.mu.Unlock()
 }
 
-// handle serves the executor's requests and notices.
-func (s *Shadow) handle(msg any) (any, error) {
+// handle serves the executor's requests and notices. ctx carries the
+// executor's span context when it sampled the operation; handle records
+// the shadow-side half (home-machine syscall service time, terminal
+// events) as child spans, completing the cross-machine picture.
+func (s *Shadow) handle(ctx context.Context, msg any) (any, error) {
 	switch m := msg.(type) {
 	case proto.SyscallMsg:
 		s.syscalls.Add(1)
 		s.sysBytes.Add(int64(len(m.Req.Data)))
+		sp := trace.StartChildIfSampled(trace.FromContext(ctx), "shadow-syscall")
+		sp.SetJob(s.jobID)
 		rep, err := s.handler.Syscall(m.Req)
+		sp.SetError(err)
+		sp.Finish()
 		if err != nil {
 			return nil, err
 		}
 		s.sysBytes.Add(int64(len(rep.Data)))
 		return proto.SyscallReplyMsg{Rep: rep}, nil
 	case proto.JobDoneMsg:
+		sp := trace.StartChildIfSampled(trace.FromContext(ctx), "complete")
+		sp.SetJob(s.jobID)
 		s.markTerminal()
 		s.events.JobDone(m)
+		sp.Finish()
 		return proto.Ack{}, nil
 	case proto.JobVacatedMsg:
 		s.ckptsIn.Add(1)

@@ -1,6 +1,7 @@
 package ru
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -9,6 +10,7 @@ import (
 	"condor/internal/cvm"
 	"condor/internal/machine"
 	"condor/internal/proto"
+	"condor/internal/trace"
 	"condor/internal/wire"
 )
 
@@ -52,6 +54,11 @@ type StarterConfig struct {
 	// PeriodicCheckpoint, when positive, checkpoints the running job to
 	// its shadow at this interval (§4 proposal / A5 ablation).
 	PeriodicCheckpoint time.Duration
+	// SyscallTraceEvery downsamples per-syscall tracing: within a traced
+	// execution the first forwarded syscall is always recorded, then
+	// every Nth (default 64). Rare lifecycle events (place, checkpoint,
+	// vacate, complete) are never downsampled.
+	SyscallTraceEvery uint64
 }
 
 func (c *StarterConfig) sanitize() {
@@ -69,6 +76,9 @@ func (c *StarterConfig) sanitize() {
 	}
 	if c.Policy == 0 {
 		c.Policy = VacateSuspendFirst
+	}
+	if c.SyscallTraceEvery == 0 {
+		c.SyscallTraceEvery = 64
 	}
 }
 
@@ -171,16 +181,16 @@ func (st *Starter) Vacate(jobID, reason string) bool {
 // Handler returns the wire handler for one inbound connection; stationd
 // installs it in its wire.Server for placement connections.
 func (st *Starter) Handler(peer *wire.Peer) wire.Handler {
-	return func(msg any) (any, error) {
+	return func(ctx context.Context, msg any) (any, error) {
 		place, ok := msg.(proto.PlaceRequest)
 		if !ok {
 			return nil, fmt.Errorf("ru: starter got unexpected %T", msg)
 		}
-		return st.place(peer, place)
+		return st.place(ctx, peer, place)
 	}
 }
 
-func (st *Starter) place(peer *wire.Peer, req proto.PlaceRequest) (proto.PlaceReply, error) {
+func (st *Starter) place(ctx context.Context, peer *wire.Peer, req proto.PlaceRequest) (proto.PlaceReply, error) {
 	reject := func(reason string) (proto.PlaceReply, error) {
 		st.mu.Lock()
 		st.stats.Rejected++
@@ -194,6 +204,20 @@ func (st *Starter) place(peer *wire.Peer, req proto.PlaceRequest) (proto.PlaceRe
 	if err != nil {
 		return reject(fmt.Sprintf("bad checkpoint: %v", err))
 	}
+	// Join the job's trace: prefer the live span context propagated on
+	// the placement envelope; fall back to the trace ID persisted in the
+	// checkpoint metadata (the schedd predates tracing, or the placement
+	// came through an old peer that stripped the field).
+	parent := trace.FromContext(ctx)
+	if !parent.Valid() && meta.TraceID != "" {
+		if sc, ok := trace.Resume(meta.TraceID); ok {
+			parent = sc
+		}
+	}
+	span := trace.StartChildIfSampled(parent, "exec")
+	span.SetJob(req.JobID)
+	span.SetStation(st.cfg.Name)
+	span.SetAttr("seq", fmt.Sprint(meta.Sequence))
 	exec := &execution{
 		starter:  st,
 		jobID:    req.JobID,
@@ -203,13 +227,19 @@ func (st *Starter) place(peer *wire.Peer, req proto.PlaceRequest) (proto.PlaceRe
 		meta:     meta,
 		lastCkpt: req.Checkpoint,
 		ctl:      make(chan ctl, 8),
+		span:     span,
+		traceCtx: span.Context(),
 	}
 	vm, err := cvm.Restore(img, &remoteHandler{
 		peer:    peer,
 		jobID:   req.JobID,
 		timeout: st.cfg.SyscallTimeout,
+		parent:  exec.traceCtx,
+		every:   st.cfg.SyscallTraceEvery,
 	})
 	if err != nil {
+		exec.span.SetError(err)
+		exec.span.Finish()
 		return reject(fmt.Sprintf("restore: %v", err))
 	}
 	exec.vm = vm
@@ -217,6 +247,7 @@ func (st *Starter) place(peer *wire.Peer, req proto.PlaceRequest) (proto.PlaceRe
 	st.mu.Lock()
 	if st.cur != nil {
 		st.mu.Unlock()
+		exec.span.Finish()
 		return reject("machine already claimed")
 	}
 	st.cur = exec

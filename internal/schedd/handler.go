@@ -16,10 +16,10 @@ import (
 // is station RPC.
 func (st *Station) handlerFor(peer *wire.Peer) wire.Handler {
 	starterHandler := st.starter.Handler(peer)
-	return func(msg any) (any, error) {
+	return func(ctx context.Context, msg any) (any, error) {
 		switch m := msg.(type) {
 		case proto.PlaceRequest:
-			return starterHandler(m)
+			return starterHandler(ctx, m)
 		case proto.SubmitRequest:
 			return st.handleSubmit(m)
 		case proto.QueueRequest:
@@ -38,9 +38,12 @@ func (st *Station) handlerFor(peer *wire.Peer) wire.Handler {
 			return st.handleGrant(m), nil
 		case proto.HistoryRequest:
 			var events []eventlog.Event
-			if m.JobID != "" {
+			switch {
+			case m.TraceID != "":
+				events = st.events.ForTrace(m.TraceID)
+			case m.JobID != "":
 				events = st.events.ForJob(m.JobID)
-			} else {
+			default:
 				events = st.events.Recent(m.Limit)
 			}
 			return proto.HistoryReply{Events: events}, nil
@@ -124,7 +127,13 @@ func (st *Station) handleGrant(m proto.GrantRequest) proto.GrantReply {
 	if err != nil {
 		return proto.GrantReply{Used: false, Reason: err.Error()}
 	}
-	return proto.GrantReply{Used: true, JobID: jobID}
+	reply := proto.GrantReply{Used: true, JobID: jobID}
+	// Hand the coordinator the placed job's trace identity so it can
+	// record its own grant span inside the job's trace.
+	if sc := st.traceCtxOf(jobID); sc.Valid() {
+		reply.Trace = sc.Traceparent()
+	}
+	return reply
 }
 
 // LastPolled returns when the coordinator last polled this station.

@@ -1,6 +1,7 @@
 package schedd
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -16,6 +17,7 @@ import (
 	"condor/internal/proto"
 	"condor/internal/ru"
 	"condor/internal/telemetry"
+	"condor/internal/trace"
 	"condor/internal/wire"
 )
 
@@ -108,6 +110,11 @@ type job struct {
 	shadow     *ru.Shadow
 	// seq is the checkpoint sequence counter.
 	seq uint64
+	// traceCtx is the job's trace anchor: the submit span's context (or
+	// the recover span's after a restart). Every later span of this job
+	// — place, exec, syscalls, vacate, complete — descends from it, and
+	// its trace ID stitches eventlog entries to /traces.
+	traceCtx trace.SpanContext
 }
 
 // frameIOTimeout bounds each in-progress frame on the station's
@@ -245,6 +252,25 @@ func (st *Station) recoverJobs() {
 			},
 			host: st.cfg.Hosts(meta.JobID, meta.Owner),
 		}
+		// Resume the job's trace from the checkpoint metadata and record
+		// a "recover" anchor span post-restart spans hang off, so one
+		// trace spans the schedd crash.
+		if sc, ok := trace.Resume(meta.TraceID); ok {
+			j.traceCtx = sc
+			now := time.Now()
+			trace.Record(trace.Span{
+				TraceID: sc.TraceID,
+				SpanID:  sc.SpanID,
+				Name:    "recover",
+				Job:     meta.JobID,
+				Station: st.cfg.Name,
+				Start:   now,
+				End:     now,
+				Attrs: []trace.Attr{
+					{Key: "seq", Value: strconv.FormatUint(meta.Sequence, 10)},
+				},
+			})
+		}
 		st.jobs[meta.JobID] = j
 		st.order = append(st.order, meta.JobID)
 		st.logEvent(eventlog.KindSubmit, meta.JobID, st.cfg.Name,
@@ -282,7 +308,27 @@ func (st *Station) Events() *eventlog.Log { return st.events }
 func (st *Station) logEvent(kind eventlog.Kind, jobID, station, detail string) {
 	st.events.Append(eventlog.Event{
 		Kind: kind, Job: jobID, Station: station, Detail: detail,
+		TraceID: st.traceIDOf(jobID),
 	})
+}
+
+// traceCtxOf returns the job's trace anchor (zero when unknown/untraced).
+func (st *Station) traceCtxOf(jobID string) trace.SpanContext {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if j, ok := st.jobs[jobID]; ok {
+		return j.traceCtx
+	}
+	return trace.SpanContext{}
+}
+
+// traceIDOf returns the job's trace ID in hex, or "" when untraced.
+func (st *Station) traceIDOf(jobID string) string {
+	sc := st.traceCtxOf(jobID)
+	if !sc.Valid() {
+		return ""
+	}
+	return sc.TraceID.String()
 }
 
 // Close shuts the station down.
@@ -364,21 +410,36 @@ func (st *Station) SubmitJob(owner string, prog *cvm.Program, opts SubmitOptions
 	jobID := fmt.Sprintf("%s/%d", st.cfg.Name, st.nextNum)
 	st.mu.Unlock()
 
+	// The submit span is the root of the job's entire distributed trace;
+	// its ID rides the checkpoint metadata so the trace keeps following
+	// the job across migrations and restarts.
+	span := trace.StartRoot("submit")
+	span.SetJob(jobID)
+	span.SetStation(st.cfg.Name)
+	traceCtx := span.Context()
+
 	submittedAt := time.Now()
 	meta := ckpt.Meta{
 		JobID: jobID, Owner: owner, ProgramName: prog.Name,
 		SubmittedAtUnixMilli: submittedAt.UnixMilli(),
 		Priority:             opts.Priority,
+		TraceID:              traceCtx.TraceID.String(),
 	}
 	blob, err := ru.InitialCheckpoint(meta, prog, opts.StackWords)
 	if err != nil {
+		span.SetError(err)
+		span.Finish()
 		return "", err
 	}
 	_, img, err := ckpt.DecodeBytes(blob)
 	if err != nil {
+		span.SetError(err)
+		span.Finish()
 		return "", err
 	}
 	if err := st.cfg.Store.Put(meta, img); err != nil {
+		span.SetError(err)
+		span.Finish()
 		return "", fmt.Errorf("schedd: submit %s: %w", jobID, err)
 	}
 
@@ -394,6 +455,7 @@ func (st *Station) SubmitJob(owner string, prog *cvm.Program, opts SubmitOptions
 		program:    prog,
 		stackWords: opts.StackWords,
 		host:       st.cfg.Hosts(jobID, owner),
+		traceCtx:   traceCtx,
 	}
 	st.mu.Lock()
 	st.jobs[jobID] = j
@@ -401,6 +463,7 @@ func (st *Station) SubmitJob(owner string, prog *cvm.Program, opts SubmitOptions
 	st.updateQueueGaugesLocked()
 	st.mu.Unlock()
 	markTransition(proto.JobIdle)
+	span.Finish()
 	st.logEvent(eventlog.KindSubmit, jobID, st.cfg.Name,
 		fmt.Sprintf("%s by %s (pri %d)", prog.Name, owner, opts.Priority))
 	return jobID, nil
@@ -583,22 +646,37 @@ func (st *Station) PlaceNext(execName, execAddr string) (string, error) {
 	jobID := j.status.ID
 	owner := j.status.Owner
 	host := j.host
+	jobTrace := j.traceCtx
 	j.status.State = proto.JobPlacing
 	st.updateQueueGaugesLocked()
 	st.mu.Unlock()
 	markTransition(proto.JobPlacing)
 
+	// The place span covers checkpoint read + handshake; the starter's
+	// exec span hangs off it via the wire's trace context.
+	span := trace.StartChildIfSampled(jobTrace, "place")
+	span.SetJob(jobID)
+	span.SetStation(execName)
+
 	meta, img, err := st.cfg.Store.Get(jobID)
 	if err != nil {
+		span.SetError(err)
+		span.Finish()
 		st.setJobState(jobID, proto.JobIdle)
 		return "", fmt.Errorf("schedd: checkpoint for %s: %w", jobID, err)
 	}
 	blob, err := ckpt.EncodeBytesWith(meta, img, ckpt.Options{Compress: true})
 	if err != nil {
+		span.SetError(err)
+		span.Finish()
 		st.setJobState(jobID, proto.JobIdle)
 		return "", err
 	}
-	shadow, err := ru.Place(execAddr, proto.PlaceRequest{
+	placeCtx := context.Background()
+	if span.Recording() {
+		placeCtx = trace.ContextWith(placeCtx, span.Context())
+	}
+	shadow, err := ru.Place(placeCtx, execAddr, proto.PlaceRequest{
 		JobID:      jobID,
 		Owner:      owner,
 		HomeHost:   st.cfg.Name,
@@ -613,9 +691,12 @@ func (st *Station) PlaceNext(execName, execAddr string) (string, error) {
 		Heartbeat:    st.cfg.PlacementHeartbeat,
 	})
 	if err != nil {
+		span.SetError(err)
+		span.Finish()
 		st.setJobState(jobID, proto.JobIdle)
 		return "", err
 	}
+	span.Finish()
 
 	st.mu.Lock()
 	j.shadow = shadow

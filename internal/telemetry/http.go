@@ -6,8 +6,26 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"runtime"
+	"sync"
 	"time"
 )
+
+// extraHandlers are endpoints other packages register at init time (e.g.
+// internal/trace mounts /traces) so every daemon's -http listener picks
+// them up without telemetry importing those packages.
+var (
+	extraMu       sync.Mutex
+	extraHandlers = map[string]http.Handler{}
+)
+
+// Handle registers an additional handler mounted on every subsequently
+// started Serve listener. Registration is typically done from an init
+// function; re-registering a pattern replaces the previous handler.
+func Handle(pattern string, h http.Handler) {
+	extraMu.Lock()
+	defer extraMu.Unlock()
+	extraHandlers[pattern] = h
+}
 
 // Handler returns an http.Handler serving the registry's exposition page
 // (mount it at /metrics).
@@ -47,6 +65,11 @@ func Serve(addr string, reg *Registry) (*Server, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	extraMu.Lock()
+	for pattern, h := range extraHandlers {
+		mux.Handle(pattern, h)
+	}
+	extraMu.Unlock()
 	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
 	go s.srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Close
 	return s, nil

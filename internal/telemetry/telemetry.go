@@ -281,6 +281,16 @@ type Histogram struct {
 	counts []atomic.Uint64
 	count  atomic.Uint64
 	sum    atomic.Uint64 // math.Float64bits of the running sum
+	ex     atomic.Pointer[exemplar]
+}
+
+// exemplar pins one concrete observation (typically the latest traced
+// one) to a histogram so an operator can jump from an aggregate latency
+// series to the span that produced it.
+type exemplar struct {
+	ref string // opaque reference, e.g. "trace=<id> span=<id>"
+	v   float64
+	at  time.Time
 }
 
 func newHistogram(lbl string, bounds []float64) *Histogram {
@@ -314,6 +324,29 @@ func (h *Histogram) Observe(v float64) {
 // ObserveDuration records d in seconds.
 func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
 
+// ObserveExemplar records v and, when ref is non-empty, stores it as the
+// series' current exemplar. The exemplar store is a single atomic pointer
+// swap: last writer wins, no history is kept.
+func (h *Histogram) ObserveExemplar(v float64, ref string) {
+	h.Observe(v)
+	if ref != "" {
+		h.ex.Store(&exemplar{ref: ref, v: v, at: time.Now()})
+	}
+}
+
+// ObserveDurationExemplar records d in seconds with an exemplar ref.
+func (h *Histogram) ObserveDurationExemplar(d time.Duration, ref string) {
+	h.ObserveExemplar(d.Seconds(), ref)
+}
+
+// Exemplar returns the most recent exemplar ref and value ("" if none).
+func (h *Histogram) Exemplar() (ref string, v float64) {
+	if e := h.ex.Load(); e != nil {
+		return e.ref, e.v
+	}
+	return "", 0
+}
+
 // Count returns how many observations were recorded.
 func (h *Histogram) Count() uint64 { return h.count.Load() }
 
@@ -346,6 +379,12 @@ func (h *Histogram) write(b *strings.Builder, name string) {
 	b.WriteString("_count")
 	b.WriteString(h.lbl)
 	fmt.Fprintf(b, " %d\n", h.count.Load())
+	// Exemplar as a comment line: plain-text Prometheus parsers skip
+	// comments, while humans and our own tooling can jump from the
+	// aggregate to one concrete traced observation.
+	if e := h.ex.Load(); e != nil {
+		fmt.Fprintf(b, "# exemplar %s%s %s %s\n", name, h.lbl, e.ref, formatFloat(e.v))
+	}
 }
 
 // Histogram registers (or returns the existing) unlabeled histogram with

@@ -1,0 +1,56 @@
+package trace
+
+import "testing"
+
+// BenchmarkTraceSpan is the sampled hot path: start a child span,
+// annotate it, and publish it into the ring. This is what every traced
+// wire RPC pays.
+func BenchmarkTraceSpan(b *testing.B) {
+	rec := NewRecorder(4096)
+	root := rec.StartRoot("bench")
+	parent := root.Context()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp := rec.StartChild(parent, "syscall")
+		sp.SetJob("ws0/1")
+		sp.Finish()
+	}
+	b.StopTimer()
+	root.Finish()
+}
+
+// BenchmarkTraceSampledOut is the rejected head-sampling path — the cost
+// every *untraced* guest syscall pays. The acceptance bar is 0 allocs/op
+// (also asserted hard in TestSampledOutPathAllocatesNothing).
+func BenchmarkTraceSampledOut(b *testing.B) {
+	rec := NewRecorder(4096)
+	root := rec.StartRoot("bench")
+	parent := root.Context()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// n=2 with every=64 is never sampled; mirrors the executor's
+		// per-syscall counter on its common path.
+		sp := rec.StartNth(parent, "syscall", 2, 64)
+		sp.SetJob("ws0/1")
+		sp.Finish()
+	}
+	b.StopTimer()
+	root.Finish()
+}
+
+// BenchmarkTraceparentParse measures extraction on the RPC receive path.
+func BenchmarkTraceparentParse(b *testing.B) {
+	rec := NewRecorder(16)
+	root := rec.StartRoot("bench")
+	tp := root.Context().Traceparent()
+	root.Finish()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := ParseTraceparent(tp); !ok {
+			b.Fatal("parse failed")
+		}
+	}
+}

@@ -11,7 +11,7 @@ import (
 // dispatch, reply frame, and client decode.
 func BenchmarkFrameRoundTrip(b *testing.B) {
 	srv, err := NewServer("127.0.0.1:0", func(p *Peer) Handler {
-		return func(msg any) (any, error) { return msg, nil }
+		return func(_ context.Context, msg any) (any, error) { return msg, nil }
 	})
 	if err != nil {
 		b.Fatal(err)

@@ -8,6 +8,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"condor/internal/trace"
 )
 
 // Heartbeat frame types ride inside envelopes like any other message.
@@ -28,7 +30,10 @@ func (e *RemoteError) Error() string { return "wire: remote: " + e.Msg }
 
 // Handler processes inbound requests and one-way notifications on a
 // peer's connection. For one-way messages the returned value is ignored.
-type Handler func(msg any) (any, error)
+// ctx carries the caller's propagated span context when the envelope
+// included one (trace.FromContext extracts it); it is not a cancellation
+// signal — the peer does not cancel handlers when the connection dies.
+type Handler func(ctx context.Context, msg any) (any, error)
 
 // Peer runs both sides of the symmetric protocol on one connection: it
 // can issue requests (Call/Notify) and it dispatches the remote side's
@@ -170,7 +175,7 @@ func (p *Peer) readLoop() {
 			go p.serve(env)
 		case KindOneWay:
 			if p.handler != nil {
-				go p.handler(env.Msg) //nolint:errcheck // one-way: no reply channel
+				go p.handler(envContext(env), env.Msg) //nolint:errcheck // one-way: no reply channel
 			}
 		}
 	}
@@ -181,7 +186,7 @@ func (p *Peer) serve(env Envelope) {
 	if p.handler == nil {
 		reply.Err = "peer does not serve requests"
 	} else {
-		msg, err := p.handler(env.Msg)
+		msg, err := p.handler(envContext(env), env.Msg)
 		if err != nil {
 			reply.Err = err.Error()
 		} else {
@@ -191,6 +196,21 @@ func (p *Peer) serve(env Envelope) {
 	// A send failure means the connection is going down; the reader loop
 	// will observe it and fail all pending calls.
 	_ = p.conn.Send(reply)
+}
+
+// envContext builds the handler context for one inbound envelope,
+// carrying the remote caller's span context when a valid traceparent
+// rode along. Malformed trace fields are dropped, never an error: trace
+// metadata must not be able to break RPC dispatch.
+func envContext(env Envelope) context.Context {
+	if env.Trace == "" {
+		return context.Background()
+	}
+	sc, ok := trace.ParseTraceparent(env.Trace)
+	if !ok {
+		return context.Background()
+	}
+	return trace.ContextWith(context.Background(), sc)
 }
 
 func (p *Peer) failAll(err error) {
@@ -218,8 +238,15 @@ func (p *Peer) Call(ctx context.Context, msg any) (any, error) {
 	p.pending[id] = ch
 	p.mu.Unlock()
 
+	// Propagate the caller's span context; pool and retry paths wrap
+	// this Call, so one ContextWith at the origin rides every hop.
+	var traceparent string
+	if sc := trace.FromContext(ctx); sc.Valid() {
+		traceparent = sc.Traceparent()
+	}
+
 	start := time.Now()
-	if err := p.conn.Send(Envelope{ID: id, Kind: KindRequest, Msg: msg}); err != nil {
+	if err := p.conn.Send(Envelope{ID: id, Kind: KindRequest, Msg: msg, Trace: traceparent}); err != nil {
 		p.mu.Lock()
 		delete(p.pending, id)
 		p.mu.Unlock()
@@ -235,10 +262,10 @@ func (p *Peer) Call(ctx context.Context, msg any) (any, error) {
 			}
 			// A RemoteError still completed the round trip; its latency is
 			// as real as a success's.
-			mRPCLatency.ObserveDuration(time.Since(start))
+			mRPCLatency.ObserveDurationExemplar(time.Since(start), traceparent)
 			return nil, &RemoteError{Msg: env.Err}
 		}
-		mRPCLatency.ObserveDuration(time.Since(start))
+		mRPCLatency.ObserveDurationExemplar(time.Since(start), traceparent)
 		return env.Msg, nil
 	case <-ctx.Done():
 		p.mu.Lock()
@@ -251,13 +278,23 @@ func (p *Peer) Call(ctx context.Context, msg any) (any, error) {
 
 // Notify sends a one-way message; no reply is expected.
 func (p *Peer) Notify(msg any) error {
+	return p.NotifyCtx(context.Background(), msg)
+}
+
+// NotifyCtx is Notify carrying ctx's span context on the envelope so
+// one-way messages (job events, checkpoint shipments) join the trace.
+func (p *Peer) NotifyCtx(ctx context.Context, msg any) error {
 	p.mu.Lock()
 	closed := p.closed
 	p.mu.Unlock()
 	if closed {
 		return ErrClosed
 	}
-	return p.conn.Send(Envelope{Kind: KindOneWay, Msg: msg})
+	var traceparent string
+	if sc := trace.FromContext(ctx); sc.Valid() {
+		traceparent = sc.Traceparent()
+	}
+	return p.conn.Send(Envelope{Kind: KindOneWay, Msg: msg, Trace: traceparent})
 }
 
 // Server accepts connections and runs a Peer for each.
@@ -320,7 +357,7 @@ func (s *Server) acceptLoop() {
 		if h := s.newHandler(peer); h != nil {
 			peer.handler = h
 		} else {
-			peer.handler = func(any) (any, error) {
+			peer.handler = func(context.Context, any) (any, error) {
 				return nil, errors.New("no handler")
 			}
 		}

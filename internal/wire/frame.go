@@ -47,6 +47,12 @@ type Envelope struct {
 	// Err is set on replies when the handler failed; Msg may be nil then.
 	Err string
 	Msg any
+	// Trace optionally carries a W3C traceparent string propagating the
+	// caller's span context (see internal/trace). Gob keeps this
+	// backward compatible in both directions: old peers silently skip
+	// the unknown field on receive, and envelopes from old peers decode
+	// here with Trace == "".
+	Trace string
 }
 
 // Conn wraps a net.Conn with framed gob envelopes. Reads and writes are
@@ -129,6 +135,12 @@ func (c *Conn) Send(env Envelope) error {
 	}
 	mFramesSent.Inc()
 	mBytesSent.Add(uint64(4 + payload.Len()))
+	if env.Kind == KindPing || env.Kind == KindPong {
+		mHeartbeatsSent.Inc()
+	}
+	if env.Trace != "" {
+		mTraceBytesSent.Add(uint64(len(env.Trace)))
+	}
 	return nil
 }
 
@@ -197,6 +209,12 @@ func (c *Conn) Recv() (Envelope, error) {
 	mBytesRecv.Add(uint64(4 + n))
 	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&env); err != nil {
 		return env, fmt.Errorf("wire: decode: %w", err)
+	}
+	if env.Kind == KindPing || env.Kind == KindPong {
+		mHeartbeatsRecv.Inc()
+	}
+	if env.Trace != "" {
+		mTraceBytesRecv.Add(uint64(len(env.Trace)))
 	}
 	return env, nil
 }

@@ -63,6 +63,18 @@ func FuzzFrameDecode(f *testing.F) {
 	f.Add(huge)
 	// An over-limit announcement.
 	f.Add(binary.BigEndian.AppendUint32(nil, MaxFrameBytes+1))
+	// Trace-context seeds: a well-formed traceparent, hostile junk where
+	// the traceparent belongs, an oversized one, and a valid frame
+	// truncated mid-Trace-field. The decoder must treat Trace as opaque
+	// bytes — never parse, never trust.
+	valid := encodeFrame(f, Envelope{ID: 2, Kind: KindRequest, Msg: pingMsg{},
+		Trace: "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"})
+	f.Add(valid)
+	f.Add(valid[:len(valid)-7]) // truncated inside the trailing Trace string
+	f.Add(encodeFrame(f, Envelope{ID: 3, Kind: KindOneWay, Msg: pingMsg{},
+		Trace: "\x00\xff not a traceparent \xde\xad"}))
+	f.Add(encodeFrame(f, Envelope{ID: 4, Kind: KindRequest, Msg: pingMsg{},
+		Trace: string(bytes.Repeat([]byte{'a'}, 4096))}))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		conn := NewConn(&byteConn{r: bytes.NewReader(data)})

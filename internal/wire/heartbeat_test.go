@@ -9,7 +9,7 @@ import (
 
 func TestHeartbeatKeepsHealthyConnectionAlive(t *testing.T) {
 	srv, err := NewServer("127.0.0.1:0", func(p *Peer) Handler {
-		return func(msg any) (any, error) { return msg, nil }
+		return func(_ context.Context, msg any) (any, error) { return msg, nil }
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -20,6 +20,14 @@ var (
 		"Frames written to wire connections (heartbeats included).")
 	mFramesRecv = telemetry.NewCounter("condor_wire_frames_recv_total",
 		"Frames read from wire connections (heartbeats included).")
+	mHeartbeatsSent = telemetry.NewCounter("condor_wire_heartbeat_frames_sent_total",
+		"Ping/pong keepalive frames written, so liveness traffic is visible separately from RPCs.")
+	mHeartbeatsRecv = telemetry.NewCounter("condor_wire_heartbeat_frames_recv_total",
+		"Ping/pong keepalive frames read.")
+	mTraceBytesSent = telemetry.NewCounter("condor_wire_trace_bytes_sent_total",
+		"Bytes of trace-context (traceparent) metadata carried on outbound envelopes.")
+	mTraceBytesRecv = telemetry.NewCounter("condor_wire_trace_bytes_recv_total",
+		"Bytes of trace-context (traceparent) metadata carried on inbound envelopes.")
 
 	// Pool events mirror PoolStats process-wide, summed over every
 	// ClientPool in the process.

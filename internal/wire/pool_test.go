@@ -55,7 +55,7 @@ func TestPoolReconnectsAfterServerRestart(t *testing.T) {
 	for {
 		var err error
 		srv2, err = NewServer(addr, func(pe *Peer) Handler {
-			return func(msg any) (any, error) { return pong{N: msg.(ping).N + 1}, nil }
+			return func(_ context.Context, msg any) (any, error) { return pong{N: msg.(ping).N + 1}, nil }
 		})
 		if err == nil {
 			break
@@ -122,7 +122,7 @@ func TestPoolCallRetryRidesOutTransientDialFailure(t *testing.T) {
 		deadline := time.Now().Add(5 * time.Second)
 		for {
 			srv, err := NewServer(addr, func(pe *Peer) Handler {
-				return func(msg any) (any, error) { return pong{N: msg.(ping).N + 1}, nil }
+				return func(_ context.Context, msg any) (any, error) { return pong{N: msg.(ping).N + 1}, nil }
 			})
 			if err == nil {
 				started <- srv
@@ -154,7 +154,7 @@ func TestPoolCallRetryRidesOutTransientDialFailure(t *testing.T) {
 
 func TestPoolCallRetryDoesNotRetryRemoteError(t *testing.T) {
 	srv, err := NewServer("127.0.0.1:0", func(pe *Peer) Handler {
-		return func(msg any) (any, error) { return nil, errors.New("refused by handler") }
+		return func(_ context.Context, msg any) (any, error) { return nil, errors.New("refused by handler") }
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -176,7 +176,7 @@ func TestPoolAppliesRPCTimeout(t *testing.T) {
 	// bound the call even though the caller's ctx has no deadline.
 	block := make(chan struct{})
 	srv, err := NewServer("127.0.0.1:0", func(pe *Peer) Handler {
-		return func(msg any) (any, error) { <-block; return pong{}, nil }
+		return func(_ context.Context, msg any) (any, error) { <-block; return pong{}, nil }
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -239,7 +239,7 @@ func TestPoolConcurrentCallsShareConnection(t *testing.T) {
 
 func BenchmarkDialPerRPC(b *testing.B) {
 	srv, err := NewServer("127.0.0.1:0", func(pe *Peer) Handler {
-		return func(msg any) (any, error) { return pong{N: msg.(ping).N + 1}, nil }
+		return func(_ context.Context, msg any) (any, error) { return pong{N: msg.(ping).N + 1}, nil }
 	})
 	if err != nil {
 		b.Fatal(err)
@@ -261,7 +261,7 @@ func BenchmarkDialPerRPC(b *testing.B) {
 
 func BenchmarkPooledRPC(b *testing.B) {
 	srv, err := NewServer("127.0.0.1:0", func(pe *Peer) Handler {
-		return func(msg any) (any, error) { return pong{N: msg.(ping).N + 1}, nil }
+		return func(_ context.Context, msg any) (any, error) { return pong{N: msg.(ping).N + 1}, nil }
 	})
 	if err != nil {
 		b.Fatal(err)

@@ -1,0 +1,88 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"testing"
+)
+
+// legacyEnvelope is the wire envelope as peers built before trace
+// propagation encode it: identical shape, no Trace field. Gob matches
+// struct fields by name, so the two layouts interoperate as long as the
+// shared fields agree — which is exactly what this file pins.
+type legacyEnvelope struct {
+	ID   uint64
+	Kind Kind
+	Err  string
+	Msg  any
+}
+
+// TestEnvelopeTraceMixedVersionInterop proves the Envelope.Trace field
+// is backward compatible in both directions: a new peer's traced frame
+// decodes on an old peer (the unknown field is skipped), and an old
+// peer's frame decodes on a new peer with Trace empty. A mixed-version
+// pool must keep exchanging every message kind while traces degrade
+// gracefully to "not propagated".
+func TestEnvelopeTraceMixedVersionInterop(t *testing.T) {
+	const tp = "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+
+	// New sender → old receiver.
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&Envelope{
+		ID: 9, Kind: KindRequest, Msg: pingMsg{Seq: 4}, Trace: tp,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var old legacyEnvelope
+	if err := gob.NewDecoder(&buf).Decode(&old); err != nil {
+		t.Fatalf("old peer failed to decode traced envelope: %v", err)
+	}
+	if old.ID != 9 || old.Kind != KindRequest {
+		t.Fatalf("old peer decoded ID=%d Kind=%d, want 9/%d", old.ID, old.Kind, KindRequest)
+	}
+	if m, ok := old.Msg.(pingMsg); !ok || m.Seq != 4 {
+		t.Fatalf("old peer decoded Msg=%#v, want pingMsg{Seq: 4}", old.Msg)
+	}
+
+	// Old sender → new receiver.
+	buf.Reset()
+	if err := gob.NewEncoder(&buf).Encode(&legacyEnvelope{
+		ID: 11, Kind: KindReply, Err: "boom",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var env Envelope
+	if err := gob.NewDecoder(&buf).Decode(&env); err != nil {
+		t.Fatalf("new peer failed to decode legacy envelope: %v", err)
+	}
+	if env.ID != 11 || env.Kind != KindReply || env.Err != "boom" {
+		t.Fatalf("new peer decoded %+v, want ID=11 Kind=%d Err=boom", env, KindReply)
+	}
+	if env.Trace != "" {
+		t.Fatalf("legacy envelope decoded with Trace=%q, want empty", env.Trace)
+	}
+}
+
+// TestConnRecvLegacyFrame runs the old layout through the real framed
+// decoder: length prefix plus legacy gob payload must Recv cleanly with
+// Trace empty.
+func TestConnRecvLegacyFrame(t *testing.T) {
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(&legacyEnvelope{
+		ID: 3, Kind: KindOneWay, Msg: pingMsg{Seq: 1},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	frame := binary.BigEndian.AppendUint32(nil, uint32(payload.Len()))
+	frame = append(frame, payload.Bytes()...)
+
+	conn := NewConn(&byteConn{r: bytes.NewReader(frame)})
+	env, err := conn.Recv()
+	if err != nil {
+		t.Fatalf("Recv legacy frame: %v", err)
+	}
+	if env.ID != 3 || env.Kind != KindOneWay || env.Trace != "" {
+		t.Fatalf("Recv legacy frame = %+v, want ID=3 Kind=%d Trace empty", env, KindOneWay)
+	}
+}

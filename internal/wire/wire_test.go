@@ -38,7 +38,7 @@ func testingMain(m interface{ Run() int }) {
 func echoServer(t *testing.T) *Server {
 	t.Helper()
 	srv, err := NewServer("127.0.0.1:0", func(p *Peer) Handler {
-		return func(msg any) (any, error) {
+		return func(_ context.Context, msg any) (any, error) {
 			switch m := msg.(type) {
 			case ping:
 				return pong{N: m.N + 1}, nil
@@ -106,7 +106,7 @@ func TestConcurrentCalls(t *testing.T) {
 
 func TestRemoteError(t *testing.T) {
 	srv, err := NewServer("127.0.0.1:0", func(p *Peer) Handler {
-		return func(msg any) (any, error) {
+		return func(_ context.Context, msg any) (any, error) {
 			return nil, errors.New("queue is full")
 		}
 	})
@@ -150,7 +150,7 @@ func TestPendingCallsFailOnDisconnect(t *testing.T) {
 	// A server that never replies.
 	block := make(chan struct{})
 	srv, err := NewServer("127.0.0.1:0", func(p *Peer) Handler {
-		return func(msg any) (any, error) {
+		return func(_ context.Context, msg any) (any, error) {
 			<-block
 			return nil, nil
 		}
@@ -183,7 +183,7 @@ func TestPendingCallsFailOnDisconnect(t *testing.T) {
 func TestCallContextCancellation(t *testing.T) {
 	block := make(chan struct{})
 	srv, err := NewServer("127.0.0.1:0", func(p *Peer) Handler {
-		return func(msg any) (any, error) {
+		return func(_ context.Context, msg any) (any, error) {
 			<-block
 			return pong{}, nil
 		}
@@ -210,7 +210,7 @@ func TestServerCallsBackToClient(t *testing.T) {
 	type sideband struct{ asked chan int }
 	sb := sideband{asked: make(chan int, 1)}
 	srv, err := NewServer("127.0.0.1:0", func(p *Peer) Handler {
-		return func(msg any) (any, error) {
+		return func(_ context.Context, msg any) (any, error) {
 			if q, ok := msg.(ping); ok {
 				// Call back to the client before replying.
 				reply, err := p.Call(context.Background(), ping{N: 100})
@@ -227,7 +227,7 @@ func TestServerCallsBackToClient(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer srv.Close()
-	clientHandler := func(msg any) (any, error) {
+	clientHandler := func(_ context.Context, msg any) (any, error) {
 		if q, ok := msg.(ping); ok {
 			return pong{N: q.N * 2}, nil
 		}
@@ -258,7 +258,7 @@ func TestServerCallsBackToClient(t *testing.T) {
 func TestNotifyOneWay(t *testing.T) {
 	got := make(chan string, 1)
 	srv, err := NewServer("127.0.0.1:0", func(p *Peer) Handler {
-		return func(msg any) (any, error) {
+		return func(_ context.Context, msg any) (any, error) {
 			if n, ok := msg.(note); ok {
 				got <- n.Text
 			}
