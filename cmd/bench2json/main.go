@@ -2,11 +2,19 @@
 // stable JSON document on stdout, so benchmark baselines can be
 // committed and diffed (see BENCH_baseline.json and `make
 // bench-baseline`).
+//
+// With -compare it instead checks the run against a committed baseline:
+// ns/op drift beyond -tolerance and any new allocations on a
+// previously-allocation-free path are reported (as GitHub annotations
+// when running in Actions) and fail the exit code. CI runs this as an
+// informational job — noisy shared runners make timing drift advisory,
+// not blocking.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"strconv"
@@ -35,10 +43,20 @@ type Document struct {
 }
 
 func main() {
+	var (
+		comparePath = flag.String("compare", "",
+			"compare the run on stdin against this baseline JSON instead of emitting JSON")
+		tolerance = flag.Float64("tolerance", 0.30,
+			"allowed fractional ns/op drift vs the baseline (0.30 = ±30%)")
+	)
+	flag.Parse()
 	doc, err := parse(bufio.NewScanner(os.Stdin))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bench2json:", err)
 		os.Exit(1)
+	}
+	if *comparePath != "" {
+		os.Exit(compare(*comparePath, *tolerance, doc))
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
@@ -46,6 +64,76 @@ func main() {
 		fmt.Fprintln(os.Stderr, "bench2json:", err)
 		os.Exit(1)
 	}
+}
+
+// normName strips the trailing GOMAXPROCS suffix ("-8") so fresh runs
+// match baselines generated on machines with different core counts.
+func normName(name string) string {
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+// compare reports drift of the stdin run versus the committed baseline.
+// Returns the process exit code: 0 in tolerance, 1 on drift or a new
+// allocation on a previously allocation-free benchmark.
+func compare(baselinePath string, tolerance float64, cur *Document) int {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench2json:", err)
+		return 1
+	}
+	var base Document
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "bench2json: %s: %v\n", baselinePath, err)
+		return 1
+	}
+	baseline := make(map[string]Result, len(base.Results))
+	for _, r := range base.Results {
+		baseline[normName(r.Name)] = r
+	}
+	annotate := os.Getenv("GITHUB_ACTIONS") == "true"
+	bad := 0
+	for _, r := range cur.Results {
+		name := normName(r.Name)
+		b, ok := baseline[name]
+		if !ok {
+			fmt.Printf("NEW   %-40s %10.1f ns/op (no baseline; add with `make bench-baseline`)\n",
+				name, r.NsOp)
+			continue
+		}
+		delta := 0.0
+		if b.NsOp > 0 {
+			delta = (r.NsOp - b.NsOp) / b.NsOp
+		}
+		switch {
+		case b.AllocsOp == 0 && r.AllocsOp > 0:
+			bad++
+			fmt.Printf("ALLOC %-40s %d allocs/op (baseline 0)\n", name, r.AllocsOp)
+			if annotate {
+				fmt.Printf("::warning title=bench drift::%s now allocates (%d allocs/op, baseline 0)\n",
+					name, r.AllocsOp)
+			}
+		case delta > tolerance:
+			bad++
+			fmt.Printf("SLOW  %-40s %10.1f -> %10.1f ns/op (%+.0f%%, tolerance %.0f%%)\n",
+				name, b.NsOp, r.NsOp, 100*delta, 100*tolerance)
+			if annotate {
+				fmt.Printf("::warning title=bench drift::%s %.1f -> %.1f ns/op (%+.0f%% > %.0f%%)\n",
+					name, b.NsOp, r.NsOp, 100*delta, 100*tolerance)
+			}
+		default:
+			fmt.Printf("ok    %-40s %10.1f -> %10.1f ns/op (%+.0f%%)\n", name, b.NsOp, r.NsOp, 100*delta)
+		}
+	}
+	if bad > 0 {
+		fmt.Printf("%d benchmark(s) outside tolerance\n", bad)
+		return 1
+	}
+	return 0
 }
 
 func parse(sc *bufio.Scanner) (*Document, error) {

@@ -19,6 +19,7 @@ import (
 	"syscall"
 	"time"
 
+	"condor/internal/accounting"
 	"condor/internal/coordinator"
 	"condor/internal/policy"
 	"condor/internal/telemetry"
@@ -65,13 +66,18 @@ func run(listen string, poll time.Duration, grants int, history bool,
 		return err
 	}
 	defer coord.Close()
+	// The coordinator keeps its allocation ledger separate from the
+	// process-global one so its totals can be journaled; surface it on
+	// the /accounting page alongside the default section.
+	accounting.Publish("coordinator", coord.Accounting())
+	defer accounting.Unpublish("coordinator")
 	if httpAddr != "" {
 		srv, err := telemetry.Serve(httpAddr, telemetry.Default)
 		if err != nil {
 			return err
 		}
 		defer srv.Close()
-		fmt.Printf("telemetry on http://%s/metrics (pprof at /debug/pprof/)\n", srv.Addr())
+		fmt.Printf("telemetry on http://%s/metrics (pprof at /debug/pprof/, accounting at /accounting)\n", srv.Addr())
 	}
 	if stateDir != "" {
 		s := coord.Stats()

@@ -8,6 +8,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"sort"
+	"strings"
 	"time"
 
 	"condor/internal/metrics"
@@ -60,18 +62,40 @@ func run(station, remove string) error {
 		return fmt.Errorf("unexpected reply %T", reply)
 	}
 	fmt.Printf("queue of %s (%d jobs)\n", qr.Station, len(qr.Jobs))
+	now := time.Now()
 	rows := make([][]string, 0, len(qr.Jobs))
+	states := make(map[string]int)
 	for _, j := range qr.Jobs {
+		states[j.State.String()]++
+		wait := "-"
+		if !j.WaitingSince.IsZero() {
+			// How long the job has been waiting for capacity in its
+			// current idle episode.
+			wait = now.Sub(j.WaitingSince).Round(time.Second).String()
+		}
 		rows = append(rows, []string{
 			j.ID, j.Owner, j.Program, j.State.String(),
 			fmt.Sprintf("%d", j.Priority),
 			j.ExecHost,
+			wait,
 			fmt.Sprintf("%d", j.CPUSteps),
 			fmt.Sprintf("%d", j.Checkpoints),
 		})
 	}
 	fmt.Print(metrics.Table(
-		[]string{"Job", "Owner", "Program", "State", "Pri", "Exec", "CPU", "Ckpts"},
+		[]string{"Job", "Owner", "Program", "State", "Pri", "Exec", "Wait", "CPU", "Ckpts"},
 		rows))
+	if len(qr.Jobs) > 0 {
+		names := make([]string, 0, len(states))
+		for name := range states {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		parts := make([]string, 0, len(names))
+		for _, name := range names {
+			parts = append(parts, fmt.Sprintf("%d %s", states[name], name))
+		}
+		fmt.Println(strings.Join(parts, ", "))
+	}
 	return nil
 }

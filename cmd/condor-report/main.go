@@ -1,0 +1,106 @@
+// Command condor-report renders the pool's live accounting the way the
+// paper reports its measurements (§5): per-user capacity and leverage
+// (Figure 9), per-station totals with the coordinator's allocation
+// counters, the goodput/badput/checkpoint-overhead breakdown, the
+// queue-wait distribution, and the cluster utilization profile over time
+// (Figure 5). It queries any daemon speaking the wire protocol — the
+// coordinator answers with its allocation ledger, stations with their
+// jobs' meters.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"condor/internal/accounting"
+	"condor/internal/proto"
+	"condor/internal/wire"
+)
+
+func main() {
+	var (
+		coordAddr = flag.String("coordinator", "127.0.0.1:9618", "coordinator address (\"\" to skip)")
+		stations  = flag.String("stations", "", "comma-separated station (schedd) addresses to include")
+		width     = flag.Int("width", 64, "chart width for the utilization profile")
+		jsonOut   = flag.Bool("json", false, "emit the raw views as JSON instead of tables")
+	)
+	flag.Parse()
+	if err := run(*coordAddr, *stations, *width, *jsonOut); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(coordAddr, stations string, width int, jsonOut bool) error {
+	var sections []accounting.Section
+	if coordAddr != "" {
+		secs, err := query(coordAddr)
+		if err != nil {
+			return fmt.Errorf("coordinator %s: %w", coordAddr, err)
+		}
+		sections = append(sections, secs...)
+	}
+	for _, addr := range strings.Split(stations, ",") {
+		addr = strings.TrimSpace(addr)
+		if addr == "" {
+			continue
+		}
+		secs, err := query(addr)
+		if err != nil {
+			return fmt.Errorf("station %s: %w", addr, err)
+		}
+		sections = append(sections, secs...)
+	}
+	if len(sections) == 0 {
+		return fmt.Errorf("nothing to report (no coordinator or stations reachable)")
+	}
+	if jsonOut {
+		page := make(map[string]accounting.View, len(sections))
+		for _, s := range sections {
+			page[s.Name] = s.View
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(page)
+	}
+	fmt.Print(accounting.RenderReport(sections, width))
+	return nil
+}
+
+// query asks one daemon for its accounting and names the sections after
+// the answering side: the coordinator's allocation ledger, and the
+// process ledger when it has metered any jobs.
+func query(addr string) ([]accounting.Section, error) {
+	peer, err := wire.Dial(addr, 5*time.Second, nil)
+	if err != nil {
+		return nil, err
+	}
+	defer peer.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	reply, err := peer.Call(ctx, proto.AccountingRequest{})
+	if err != nil {
+		return nil, err
+	}
+	ar, ok := reply.(proto.AccountingReply)
+	if !ok {
+		return nil, fmt.Errorf("unexpected reply %T", reply)
+	}
+	var out []accounting.Section
+	if ar.HasCoordinator {
+		out = append(out, accounting.Section{Name: "coordinator " + addr, View: ar.Coordinator})
+	}
+	if viewHasJobs(ar.Process) {
+		out = append(out, accounting.Section{Name: "jobs via " + addr, View: ar.Process})
+	}
+	return out, nil
+}
+
+func viewHasJobs(v accounting.View) bool {
+	return len(v.Jobs) > 0 || len(v.Stations) > 0 || len(v.Users) > 0 || v.QueueWait.Count > 0
+}

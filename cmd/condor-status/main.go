@@ -68,12 +68,13 @@ func run(coordAddr string) error {
 			fmt.Sprintf("%d", s.RunningJobs),
 			s.ForeignJob,
 			fmt.Sprintf("%.1f", s.ScheduleIndex),
+			metrics.Sparkline(s.IndexHistory, 16),
 			reserved,
 			lastSeen,
 		})
 	}
 	fmt.Print(metrics.Table(
-		[]string{"Station", "State", "Waiting", "Running", "ForeignJob", "Index", "Reserved", "LastSeen"},
+		[]string{"Station", "State", "Waiting", "Running", "ForeignJob", "Index", "Trend", "Reserved", "LastSeen"},
 		rows))
 	w := sr.Wire
 	fmt.Printf("\nwire: %d dials, %d reuses, %d reconnects, %d evictions, %d retries\n",

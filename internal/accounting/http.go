@@ -1,0 +1,75 @@
+package accounting
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+
+	"condor/internal/telemetry"
+)
+
+// The /accounting endpoint. Mounted on every telemetry.Serve listener
+// via the extra-handler registry (the same mechanism /traces uses), so
+// any daemon started with -http exposes its ledgers without the
+// telemetry package importing this one.
+
+var (
+	pubMu  sync.Mutex
+	ledgrs = map[string]*Ledger{}
+)
+
+// Publish exposes a ledger as a named section of the /accounting
+// endpoint. The process ledger (Default) is published as "process" at
+// package load; the coordinator daemon publishes its allocation ledger
+// as "coordinator". Re-publishing a name replaces the ledger.
+func Publish(name string, l *Ledger) {
+	pubMu.Lock()
+	defer pubMu.Unlock()
+	ledgrs[name] = l
+}
+
+// Unpublish removes a named section (a closed coordinator's ledger).
+func Unpublish(name string) {
+	pubMu.Lock()
+	defer pubMu.Unlock()
+	delete(ledgrs, name)
+}
+
+// Page is the /accounting response envelope.
+type Page struct {
+	Sections map[string]View `json:"sections"`
+}
+
+// Snapshot renders every published ledger.
+func snapshotAll() Page {
+	pubMu.Lock()
+	names := make([]string, 0, len(ledgrs))
+	ls := make([]*Ledger, 0, len(ledgrs))
+	for name, l := range ledgrs {
+		names = append(names, name)
+		ls = append(ls, l)
+	}
+	pubMu.Unlock()
+	page := Page{Sections: make(map[string]View, len(names))}
+	for i, name := range names {
+		page.Sections[name] = ls[i].Snapshot()
+	}
+	return page
+}
+
+// Handler serves the published ledgers as JSON.
+func Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(snapshotAll())
+	})
+}
+
+// Registering the endpoint and the process ledger at package load is a
+// sanctioned init use (handler registry): deterministic, no I/O.
+func init() {
+	Publish("process", Default)
+	telemetry.Handle("/accounting", Handler())
+}

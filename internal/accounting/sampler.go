@@ -1,0 +1,207 @@
+package accounting
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// DefaultSamplerCapacity is the per-series ring size when NewSampler is
+// given a non-positive capacity. At one point per 2-minute poll cycle it
+// retains ~8.5 hours — a working day of utilization profile.
+const DefaultSamplerCapacity = 256
+
+// Point is one time-series sample.
+type Point struct {
+	UnixMilli int64   `json:"t"`
+	V         float64 `json:"v"`
+}
+
+// ring is a fixed-capacity circular buffer of points.
+type ring struct {
+	pts  []Point
+	next int
+	full bool
+}
+
+func (r *ring) push(p Point) {
+	if len(r.pts) == 0 {
+		return
+	}
+	r.pts[r.next] = p
+	r.next++
+	if r.next == len(r.pts) {
+		r.next = 0
+		r.full = true
+	}
+}
+
+// history returns the retained points, oldest first.
+func (r *ring) history() []Point {
+	if !r.full {
+		return append([]Point(nil), r.pts[:r.next]...)
+	}
+	out := make([]Point, 0, len(r.pts))
+	out = append(out, r.pts[r.next:]...)
+	out = append(out, r.pts[:r.next]...)
+	return out
+}
+
+// Sampler retains bounded history for named gauges, so quantities that
+// /metrics can only show instantaneously (station-state counts, up-down
+// indexes) get a trajectory — the shape of the paper's Figure 5
+// utilization profile. Series are fixed rings: pushing is O(1) and
+// memory is capacity × series, regardless of uptime.
+//
+// Values arrive either pushed (Observe — the coordinator pushes once per
+// poll cycle, keeping samples aligned with decisions) or pulled from
+// registered sources on a timer (Gauge + Start).
+type Sampler struct {
+	mu      sync.Mutex
+	cap     int
+	series  map[string]*ring
+	sources map[string]func() float64
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// NewSampler returns a sampler whose series each retain the last
+// `capacity` points (DefaultSamplerCapacity when <= 0).
+func NewSampler(capacity int) *Sampler {
+	if capacity <= 0 {
+		capacity = DefaultSamplerCapacity
+	}
+	return &Sampler{
+		cap:     capacity,
+		series:  make(map[string]*ring),
+		sources: make(map[string]func() float64),
+	}
+}
+
+// Observe pushes one sample onto the named series, creating it on first
+// use.
+func (s *Sampler) Observe(name string, t time.Time, v float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.observeLocked(name, t, v)
+}
+
+func (s *Sampler) observeLocked(name string, t time.Time, v float64) {
+	r, ok := s.series[name]
+	if !ok {
+		r = &ring{pts: make([]Point, s.cap)}
+		s.series[name] = r
+	}
+	r.push(Point{UnixMilli: t.UnixMilli(), V: v})
+}
+
+// Gauge registers a pull source sampled by SampleNow / the Start loop.
+// Re-registering a name replaces the source.
+func (s *Sampler) Gauge(name string, src func() float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sources[name] = src
+}
+
+// SampleNow reads every registered source once, stamping t.
+func (s *Sampler) SampleNow(t time.Time) {
+	s.mu.Lock()
+	names := make([]string, 0, len(s.sources))
+	for name := range s.sources {
+		names = append(names, name)
+	}
+	srcs := make([]func() float64, len(names))
+	for i, name := range names {
+		srcs[i] = s.sources[name]
+	}
+	s.mu.Unlock()
+	// Sources run outside the lock: they may take other locks (a source
+	// reading coordinator state must not order lock acquisition through
+	// the sampler).
+	vals := make([]float64, len(srcs))
+	for i, src := range srcs {
+		vals[i] = src()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, name := range names {
+		s.observeLocked(name, t, vals[i])
+	}
+}
+
+// Start samples all registered sources every interval until Stop.
+// Calling Start twice is a no-op after the first.
+func (s *Sampler) Start(interval time.Duration) {
+	s.mu.Lock()
+	if s.stop != nil {
+		s.mu.Unlock()
+		return
+	}
+	s.stop = make(chan struct{})
+	s.done = make(chan struct{})
+	stop, done := s.stop, s.done
+	s.mu.Unlock()
+	go func() {
+		defer close(done)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case now := <-ticker.C:
+				s.SampleNow(now)
+			}
+		}
+	}()
+}
+
+// Stop ends the Start loop (no-op if never started).
+func (s *Sampler) Stop() {
+	s.mu.Lock()
+	stop, done := s.stop, s.done
+	s.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	s.stopOnce.Do(func() { close(stop) })
+	<-done
+}
+
+// History returns one series, oldest point first (nil when unknown).
+func (s *Sampler) History(name string) []Point {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.series[name]
+	if !ok {
+		return nil
+	}
+	return r.history()
+}
+
+// Histories returns every non-empty series, oldest point first.
+func (s *Sampler) Histories() map[string][]Point {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string][]Point, len(s.series))
+	for name, r := range s.series {
+		if h := r.history(); len(h) > 0 {
+			out[name] = h
+		}
+	}
+	return out
+}
+
+// SeriesNames returns the known series names, sorted.
+func (s *Sampler) SeriesNames() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.series))
+	for name := range s.series {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -13,8 +13,10 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"condor/internal/accounting"
 	"condor/internal/eventlog"
 	"condor/internal/journal"
 	"condor/internal/policy"
@@ -212,6 +214,18 @@ type Coordinator struct {
 	// journal is the durable-state log (nil without StateDir).
 	journal *journal.Journal
 	started time.Time
+	// led is this coordinator's allocation ledger (grants, denials,
+	// preempts, capacity consumed per home station) plus the cluster
+	// time-series sampler. It is NOT accounting.Default: the coordinator's
+	// totals are journaled and restored with its state, so they need an
+	// instance whose lifecycle matches the journal's.
+	led *accounting.Ledger
+	// readyName identifies this coordinator's /healthz readiness check.
+	readyName string
+	// lastCycleNanos is when the last poll cycle completed; journalHealthy
+	// clears when a journal append/snapshot fails. Both feed Ready().
+	lastCycleNanos atomic.Int64
+	journalHealthy atomic.Bool
 
 	mu           sync.Mutex
 	stations     map[string]*station
@@ -230,12 +244,15 @@ func New(cfg Config) (*Coordinator, error) {
 		cfg:          cfg,
 		table:        updown.NewTable(cfg.UpDown),
 		events:       eventlog.New(eventlog.DefaultCapacity),
+		led:          accounting.NewLedger(),
 		stations:     make(map[string]*station),
 		reservations: make(map[string]reservation),
 		started:      time.Now(),
 		stop:         make(chan struct{}),
 		done:         make(chan struct{}),
 	}
+	c.journalHealthy.Store(true)
+	c.lastCycleNanos.Store(time.Now().UnixNano())
 	if cfg.StateDir != "" {
 		// Recover the previous incarnation's state before anything can
 		// observe or mutate it.
@@ -267,9 +284,28 @@ func New(cfg Config) (*Coordinator, error) {
 		return nil, err
 	}
 	c.server = server
+	c.readyName = "coordinator@" + server.Addr()
+	telemetry.RegisterReadiness(c.readyName, c.Ready)
 	go c.pollLoop()
 	return c, nil
 }
+
+// Ready reports whether this coordinator should pass a readiness probe:
+// the journal (if any) is writable and the poll loop is still turning
+// over. Registered on /healthz, which answers 503 while it errors.
+func (c *Coordinator) Ready() error {
+	if !c.journalHealthy.Load() {
+		return errors.New("journal unhealthy (append or snapshot failing)")
+	}
+	if age := time.Since(time.Unix(0, c.lastCycleNanos.Load())); age > 2*c.cfg.PollInterval {
+		return fmt.Errorf("last poll cycle %s ago (interval %s)",
+			age.Round(time.Millisecond), c.cfg.PollInterval)
+	}
+	return nil
+}
+
+// Accounting exposes the coordinator's allocation ledger.
+func (c *Coordinator) Accounting() *accounting.Ledger { return c.led }
 
 // Addr returns the coordinator's listen address.
 func (c *Coordinator) Addr() string { return c.server.Addr() }
@@ -279,6 +315,7 @@ func (c *Coordinator) Addr() string { return c.server.Addr() }
 func (c *Coordinator) Close() {
 	c.closeOnce.Do(func() { close(c.stop) })
 	<-c.done
+	telemetry.UnregisterReadiness(c.readyName)
 	c.server.Close()
 	if c.pool != nil {
 		c.pool.Close()
@@ -367,6 +404,7 @@ func (c *Coordinator) Stations() []proto.StationInfo {
 			RunningJobs:   held[s.name],
 			ForeignJob:    s.lastReply.ForeignJob,
 			ScheduleIndex: c.table.Index(s.name),
+			IndexHistory:  c.table.History(s.name),
 			LastPoll:      s.lastPoll,
 			DiskFreeBytes: s.lastReply.DiskFreeBytes,
 		}
@@ -431,6 +469,15 @@ func (c *Coordinator) handlerFor(peer *wire.Peer) wire.Handler {
 				events = c.events.Recent(m.Limit)
 			}
 			return proto.HistoryReply{Events: events}, nil
+		case proto.AccountingRequest:
+			// Both ledgers: the coordinator's allocation view, and the
+			// process-global job view (populated when schedd/ru run in the
+			// same process, as in in-process pools).
+			return proto.AccountingReply{
+				Process:        accounting.Default.Snapshot(),
+				Coordinator:    c.led.Snapshot(),
+				HasCoordinator: true,
+			}, nil
 		case proto.PoolStatusRequest:
 			stats := c.Stats()
 			return proto.PoolStatusReply{
@@ -578,10 +625,12 @@ func (c *Coordinator) Cycle() {
 	held := c.heldCountLocked()
 	views := make([]policy.StationView, 0, len(c.stations))
 	updated := make(map[string]float64, len(c.stations))
+	states := make(map[proto.StationState]int, 4)
 	for _, s := range c.stations {
 		if !s.reachable {
 			continue
 		}
+		states[s.lastReply.State]++
 		c.table.Update(s.name, held[s.name], s.lastReply.WaitingJobs > 0)
 		updated[s.name] = c.table.Index(s.name)
 		views = append(views, policy.StationView{
@@ -607,7 +656,28 @@ func (c *Coordinator) Cycle() {
 	for _, s := range c.stations {
 		addrs[s.name] = s.addr
 	}
+	total := len(c.stations)
 	c.mu.Unlock()
+
+	// Accounting: charge each home station for the remote capacity its
+	// jobs held this cycle, and sample the cluster profile (the data
+	// behind the paper's Fig 5 utilization plot) plus every station's
+	// schedule-index trajectory.
+	for home, n := range held {
+		c.led.Capacity(home, n, c.cfg.PollInterval)
+	}
+	sam := c.led.Sampler()
+	sam.Observe("stations", now, float64(total))
+	if total > 0 {
+		frac := func(s proto.StationState) float64 { return float64(states[s]) / float64(total) }
+		sam.Observe("util/owner", now, frac(proto.StationOwner))
+		sam.Observe("util/idle", now, frac(proto.StationIdle))
+		sam.Observe("util/claimed", now, frac(proto.StationClaimed))
+		sam.Observe("util/suspended", now, frac(proto.StationSuspended))
+	}
+	for name, idx := range updated {
+		sam.Observe("index/"+name, now, idx)
+	}
 
 	// Periodic snapshot: every SnapshotEvery cycles, or early when the
 	// log has outgrown its compaction threshold.
@@ -627,6 +697,7 @@ func (c *Coordinator) Cycle() {
 	for _, g := range decision.Grants {
 		c.bump(func(st *Stats) { st.Grants++ })
 		mGrants.Inc()
+		c.led.Grant(g.Requester)
 		grantStart := time.Now()
 		reply, err := c.callStation(addrs[g.Requester], proto.GrantRequest{
 			ExecName: g.Exec,
@@ -637,11 +708,13 @@ func (c *Coordinator) Cycle() {
 			// used it is unknowable, so count it as denied capacity.
 			c.bump(func(st *Stats) { st.GrantsDenied++ })
 			mGrantsDenied.Inc()
+			c.led.GrantDenied(g.Requester)
 			continue
 		}
 		if gr, ok := reply.(proto.GrantReply); ok && gr.Used {
 			c.bump(func(st *Stats) { st.GrantsUsed++ })
 			mGrantsUsed.Inc()
+			c.led.GrantUsed(g.Requester)
 			// The reply names the placed job's trace; record the grant span
 			// after the fact, backdated to cover the grant RPC. Old stations
 			// send no trace and the span is simply skipped.
@@ -679,11 +752,13 @@ func (c *Coordinator) Cycle() {
 		} else {
 			c.bump(func(st *Stats) { st.GrantsDenied++ })
 			mGrantsDenied.Inc()
+			c.led.GrantDenied(g.Requester)
 		}
 	}
 	for _, p := range decision.Preempts {
 		c.bump(func(st *Stats) { st.Preempts++ })
 		mPreempts.Inc()
+		c.led.Preempt(p.Victim)
 		c.events.Append(eventlog.Event{
 			Kind: eventlog.KindPreempt, Job: p.JobID, Station: p.Exec,
 			Detail: fmt.Sprintf("%s outranks %s", p.Beneficiary, p.Victim),
@@ -694,6 +769,18 @@ func (c *Coordinator) Cycle() {
 		})
 	}
 	c.enforceReservations(addrs)
+
+	// Persist the allocation totals touched this cycle as one absolute
+	// batch record — same convention as recUpdown — so grant, preempt,
+	// and capacity totals survive a coordinator restart.
+	if c.journal != nil {
+		if alloc := c.led.AllocSnapshot(); len(alloc) > 0 {
+			c.mu.Lock()
+			c.appendJournalLocked(persistRecord{Kind: recAcct, Alloc: alloc})
+			c.mu.Unlock()
+		}
+	}
+	c.lastCycleNanos.Store(time.Now().UnixNano())
 }
 
 // incarnation returns which start of this coordinator's state directory

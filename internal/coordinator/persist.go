@@ -5,6 +5,7 @@ import (
 	"encoding/gob"
 	"time"
 
+	"condor/internal/accounting"
 	"condor/internal/journal"
 )
 
@@ -26,6 +27,7 @@ const (
 	recUpdown     = "updown"     // one cycle's absolute index values
 	recReserve    = "reserve"    // reservation granted or extended
 	recCancel     = "cancel"     // reservation released
+	recAcct       = "acct"       // one cycle's absolute allocation totals
 )
 
 // persistRecord is one journaled state delta. Index values are absolute
@@ -42,6 +44,9 @@ type persistRecord struct {
 	// Holder and UntilUnixMilli describe a reservation (reserve records).
 	Holder         string
 	UntilUnixMilli int64
+	// Alloc carries per-station allocation totals (acct records). Values
+	// are absolute, like Indexes.
+	Alloc map[string]accounting.AllocTotals
 }
 
 // persistReservation is a reservation inside a snapshot.
@@ -58,6 +63,8 @@ type persistState struct {
 	Indexes map[string]float64
 	// Reservations maps station → live reservation.
 	Reservations map[string]persistReservation
+	// Alloc is the accounting ledger's per-station allocation totals.
+	Alloc map[string]accounting.AllocTotals
 }
 
 func encodeRecord(rec persistRecord) ([]byte, error) {
@@ -99,6 +106,7 @@ func rebuildState(snapshot []byte, records [][]byte, now time.Time) (persistStat
 		Stations:     make(map[string]string),
 		Indexes:      make(map[string]float64),
 		Reservations: make(map[string]persistReservation),
+		Alloc:        make(map[string]accounting.AllocTotals),
 	}
 	skipped := 0
 	if snapshot != nil {
@@ -111,6 +119,9 @@ func rebuildState(snapshot []byte, records [][]byte, now time.Time) (persistStat
 			}
 			for k, v := range snap.Reservations {
 				st.Reservations[k] = v
+			}
+			for k, v := range snap.Alloc {
+				st.Alloc[k] = v
 			}
 		} else {
 			skipped++
@@ -143,6 +154,10 @@ func rebuildState(snapshot []byte, records [][]byte, now time.Time) (persistStat
 			}
 		case recCancel:
 			delete(st.Reservations, rec.Name)
+		case recAcct:
+			for name, a := range rec.Alloc {
+				st.Alloc[name] = a
+			}
 		default:
 			skipped++
 		}
@@ -171,6 +186,7 @@ func (c *Coordinator) openJournal() error {
 		c.stations[name] = &station{name: name, addr: addr, reachable: true}
 	}
 	c.table.Restore(st.Indexes)
+	c.led.RestoreAlloc(st.Alloc)
 	for name, r := range st.Reservations {
 		c.reservations[name] = reservation{
 			holder: r.Holder,
@@ -195,11 +211,15 @@ func (c *Coordinator) appendJournalLocked(rec persistRecord) {
 	b, err := encodeRecord(rec)
 	if err != nil {
 		c.stats.JournalErrors++
+		c.journalHealthy.Store(false)
 		return
 	}
 	if err := c.journal.Append(b); err != nil {
 		c.stats.JournalErrors++
+		c.journalHealthy.Store(false)
+		return
 	}
+	c.journalHealthy.Store(true)
 }
 
 // snapshotJournal writes the full current state as a new snapshot
@@ -213,6 +233,7 @@ func (c *Coordinator) snapshotJournal() {
 		Stations:     make(map[string]string, len(c.stations)),
 		Indexes:      c.table.Snapshot(),
 		Reservations: make(map[string]persistReservation, len(c.reservations)),
+		Alloc:        c.led.AllocSnapshot(),
 	}
 	for name, s := range c.stations {
 		st.Stations[name] = s.addr
@@ -230,9 +251,13 @@ func (c *Coordinator) snapshotJournal() {
 	b, err := encodeState(st)
 	if err != nil {
 		c.bump(func(s *Stats) { s.JournalErrors++ })
+		c.journalHealthy.Store(false)
 		return
 	}
 	if err := c.journal.Snapshot(b); err != nil {
 		c.bump(func(s *Stats) { s.JournalErrors++ })
+		c.journalHealthy.Store(false)
+		return
 	}
+	c.journalHealthy.Store(true)
 }

@@ -358,3 +358,34 @@ func Downsample(values []float64, width int) []float64 {
 	}
 	return out
 }
+
+// sparkRamp maps a normalized value to a density character.
+const sparkRamp = " .:-=+*#%@"
+
+// Sparkline renders values as a one-line trend (oldest first), scaled to
+// their own range and downsampled to at most width characters (width <= 0
+// means no downsampling).
+func Sparkline(values []float64, width int) string {
+	vals := Downsample(values, width)
+	if len(vals) == 0 {
+		return ""
+	}
+	lo, hi := vals[0], vals[0]
+	for _, v := range vals {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	var b strings.Builder
+	for _, v := range vals {
+		i := 0
+		if hi > lo {
+			i = int((v - lo) / (hi - lo) * float64(len(sparkRamp)-1))
+		}
+		b.WriteByte(sparkRamp[i])
+	}
+	return b.String()
+}

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"time"
 
+	"condor/internal/accounting"
 	"condor/internal/cvm"
 	"condor/internal/eventlog"
 )
@@ -121,6 +122,10 @@ type JobStatus struct {
 	ExitCode int64  `json:"exitCode"`
 	FaultMsg string `json:"faultMsg,omitempty"`
 	Stdout   string `json:"stdout,omitempty"`
+	// WaitingSince is when the job's current idle episode began (submit
+	// or requeue after a vacate/loss); zero when not waiting. condor-q
+	// renders it as the job's queue-wait age.
+	WaitingSince time.Time `json:"waitingSince,omitempty"`
 }
 
 // StationInfo is one row of the coordinator's pool table.
@@ -136,6 +141,9 @@ type StationInfo struct {
 	ForeignJob string `json:"foreignJob,omitempty"`
 	// ScheduleIndex is the station's Up-Down priority index.
 	ScheduleIndex float64 `json:"scheduleIndex"`
+	// IndexHistory is the station's recent schedule-index trajectory,
+	// oldest first (bounded; empty from coordinators predating it).
+	IndexHistory []float64 `json:"indexHistory,omitempty"`
 	// LastPoll is when the coordinator last heard from the station.
 	LastPoll time.Time `json:"lastPoll"`
 	// DiskFreeBytes is free checkpoint-store space on the station.
@@ -324,6 +332,23 @@ type HistoryReply struct {
 // PoolStatusRequest asks the coordinator for the pool table.
 type PoolStatusRequest struct{}
 
+// AccountingRequest asks a daemon for its live accounting ledgers — the
+// paper's §5 quantities measured on the running system. Both the
+// coordinator and the stations answer it.
+type AccountingRequest struct{}
+
+// AccountingReply carries the ledger views. Process is the answering
+// daemon's process-wide job/station/user ledger (empty sections when the
+// daemon runs no jobs); Coordinator is the allocation/capacity ledger
+// and is only populated by coordinators.
+type AccountingReply struct {
+	Process     accounting.View
+	Coordinator accounting.View
+	// HasCoordinator distinguishes "not a coordinator" from an empty
+	// coordinator ledger.
+	HasCoordinator bool
+}
+
 // WireStats reports the coordinator's pooled-connection activity:
 // how often station RPCs rode a cached connection versus paying a
 // fresh dial, plus reconnects after station restarts, idle evictions,
@@ -494,6 +519,7 @@ func init() {
 		HistoryRequest{}, HistoryReply{},
 		CancelReservationRequest{}, CancelReservationReply{},
 		PoolStatusRequest{}, PoolStatusReply{},
+		AccountingRequest{}, AccountingReply{},
 		PlaceRequest{}, PlaceReply{},
 		SyscallMsg{}, SyscallReplyMsg{},
 		JobDoneMsg{}, JobVacatedMsg{}, JobCheckpointMsg{},

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"condor/internal/accounting"
 	"condor/internal/ckpt"
 	"condor/internal/cvm"
 	"condor/internal/proto"
@@ -45,7 +46,11 @@ type execution struct {
 	// kill-immediately policy this is what gets shipped back.
 	lastCkpt      []byte
 	lastCkptSteps uint64
-	ctl           chan ctl
+	// meter charges remote CPU, checkpoint overhead, and badput to the
+	// job. The executor is the sole writer of those fields; step totals
+	// are reconciled CAS-max so the home side may observe them too.
+	meter *accounting.Meter
+	ctl   chan ctl
 	// span covers the whole residency of the job on this machine; it is
 	// finished on every exit path of run (complete, fault, vacate, kill,
 	// connection loss). traceCtx is its propagable identity, the parent
@@ -131,7 +136,10 @@ func (e *execution) run() {
 			continue
 		}
 
+		sliceStart := time.Now()
 		status, err := e.vm.Run(cfg.StepsPerSlice)
+		e.meter.ExecTime(time.Since(sliceStart))
+		e.meter.ObserveSteps(e.vm.Steps())
 		if err != nil {
 			var fault *cvm.FaultError
 			if errors.As(err, &fault) {
@@ -168,6 +176,7 @@ func (e *execution) run() {
 			cp := trace.StartChildIfSampled(e.traceCtx, "checkpoint")
 			cp.SetJob(e.jobID)
 			cp.SetAttr("periodic", "true")
+			ckptStart := time.Now()
 			if blob, err := e.snapshotBlob(); err == nil {
 				e.lastCkpt = blob
 				e.lastCkptSteps = e.vm.Steps()
@@ -177,6 +186,7 @@ func (e *execution) run() {
 						Checkpoint: blob,
 						Steps:      e.vm.Steps(),
 					})
+				e.meter.Checkpoint(len(blob), time.Since(ckptStart))
 				e.starter.bump(func(s *StarterStats) { s.PeriodicCkpts++ })
 			} else {
 				cp.SetError(err)
@@ -207,14 +217,20 @@ func (e *execution) snapshotBlob() ([]byte, error) {
 func (e *execution) vacate(reason string) {
 	cp := trace.StartChildIfSampled(e.traceCtx, "checkpoint")
 	cp.SetJob(e.jobID)
+	ckptStart := time.Now()
 	blob, err := e.snapshotBlob()
 	if err != nil {
 		// Encoding can only fail on an invalid image; fall back to the
 		// last good checkpoint rather than losing the job.
 		cp.SetError(err)
 		blob = e.lastCkpt
+		// Resuming from the stale checkpoint redoes everything since it.
+		e.meter.Badput(e.meter.StepsBeyond(e.lastCkptSteps))
+	} else {
+		e.meter.Checkpoint(len(blob), time.Since(ckptStart))
 	}
 	cp.Finish()
+	e.meter.Preempted()
 	e.starter.bump(func(s *StarterStats) { s.Vacated++ })
 	e.starter.clear(e)
 	sp := trace.StartChildIfSampled(e.traceCtx, "vacate")
@@ -232,6 +248,11 @@ func (e *execution) vacate(reason string) {
 // killWithLastCheckpoint implements the §4 kill-immediately policy: no
 // fresh checkpoint is taken; work since the last one is lost.
 func (e *execution) killWithLastCheckpoint(reason string) {
+	// Badput: everything executed past the checkpoint being shipped back
+	// will be redone when the job resumes elsewhere.
+	e.meter.ObserveSteps(e.vm.Steps())
+	e.meter.Badput(e.meter.StepsBeyond(e.lastCkptSteps))
+	e.meter.Preempted()
 	e.starter.bump(func(s *StarterStats) { s.Vacated++ })
 	e.starter.clear(e)
 	sp := trace.StartChildIfSampled(e.traceCtx, "vacate")

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"condor/internal/accounting"
 	"condor/internal/cvm"
 	"condor/internal/proto"
 	"condor/internal/trace"
@@ -55,6 +56,9 @@ type Shadow struct {
 	peer     *wire.Peer
 	events   Events
 	handler  cvm.SyscallHandler
+	// meter charges home-side support time (syscall service, checkpoint
+	// ingest) to the job — the denominator of the leverage metric.
+	meter *accounting.Meter
 
 	syscalls  atomic.Uint64
 	sysBytes  atomic.Int64
@@ -128,6 +132,7 @@ func Place(
 		execSite: execAddr,
 		events:   events,
 		handler:  handler,
+		meter:    accounting.Default.Job(req.JobID, req.Owner, req.HomeHost),
 		closed:   make(chan struct{}),
 	}
 	dial := func() (*wire.Peer, error) {
@@ -234,13 +239,17 @@ func (s *Shadow) handle(ctx context.Context, msg any) (any, error) {
 		s.sysBytes.Add(int64(len(m.Req.Data)))
 		sp := trace.StartChildIfSampled(trace.FromContext(ctx), "shadow-syscall")
 		sp.SetJob(s.jobID)
+		start := time.Now()
 		rep, err := s.handler.Syscall(m.Req)
+		elapsed := time.Since(start)
 		sp.SetError(err)
 		sp.Finish()
 		if err != nil {
+			s.meter.Syscall(len(m.Req.Data), elapsed)
 			return nil, err
 		}
 		s.sysBytes.Add(int64(len(rep.Data)))
+		s.meter.Syscall(len(m.Req.Data)+len(rep.Data), elapsed)
 		return proto.SyscallReplyMsg{Rep: rep}, nil
 	case proto.JobDoneMsg:
 		sp := trace.StartChildIfSampled(trace.FromContext(ctx), "complete")
@@ -253,12 +262,16 @@ func (s *Shadow) handle(ctx context.Context, msg any) (any, error) {
 		s.ckptsIn.Add(1)
 		s.ckptBytes.Add(int64(len(m.Checkpoint)))
 		s.markTerminal()
+		start := time.Now()
 		s.events.JobVacated(m)
+		s.meter.Support(time.Since(start)) // checkpoint ingest + requeue
 		return proto.Ack{}, nil
 	case proto.JobCheckpointMsg:
 		s.ckptsIn.Add(1)
 		s.ckptBytes.Add(int64(len(m.Checkpoint)))
+		start := time.Now()
 		s.events.JobCheckpointed(m)
+		s.meter.Support(time.Since(start)) // checkpoint ingest
 		return proto.Ack{}, nil
 	case proto.JobSuspendedMsg:
 		s.events.JobSuspended(m.JobID)

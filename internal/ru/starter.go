@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"condor/internal/accounting"
 	"condor/internal/ckpt"
 	"condor/internal/cvm"
 	"condor/internal/machine"
@@ -226,9 +227,14 @@ func (st *Starter) place(ctx context.Context, peer *wire.Peer, req proto.PlaceRe
 		peer:     peer,
 		meta:     meta,
 		lastCkpt: req.Checkpoint,
-		ctl:      make(chan ctl, 8),
-		span:     span,
-		traceCtx: span.Context(),
+		// The placement image already covers the steps in its metadata: a
+		// kill before the first periodic checkpoint loses only work done
+		// here, not the whole pre-migration history.
+		lastCkptSteps: meta.CPUSteps,
+		meter:         accounting.Default.Job(req.JobID, req.Owner, req.HomeHost),
+		ctl:           make(chan ctl, 8),
+		span:          span,
+		traceCtx:      span.Context(),
 	}
 	vm, err := cvm.Restore(img, &remoteHandler{
 		peer:    peer,

@@ -2,7 +2,9 @@ package schedd
 
 import (
 	"fmt"
+	"time"
 
+	"condor/internal/accounting"
 	"condor/internal/ckpt"
 	"condor/internal/eventlog"
 	"condor/internal/proto"
@@ -37,9 +39,15 @@ func (e *jobEvents) JobDone(msg proto.JobDoneMsg) {
 		j.status.ExitCode = msg.ExitCode
 		markTransition(proto.JobCompleted)
 	}
+	meter := j.meter
 	status := st.statusLocked(j)
 	st.updateQueueGaugesLocked()
 	st.mu.Unlock()
+	if meter != nil {
+		meter.ObserveSteps(msg.Steps)
+	}
+	// Terminal: fold the job's accounting into its station/user totals.
+	accounting.Default.Retire(e.jobID)
 	// The checkpoint is no longer needed; release the disk (§4).
 	_ = st.cfg.Store.Delete(e.jobID)
 	if msg.Faulted {
@@ -55,6 +63,7 @@ func (e *jobEvents) JobDone(msg proto.JobDoneMsg) {
 func (e *jobEvents) JobVacated(msg proto.JobVacatedMsg) {
 	e.storeCheckpoint(msg.Checkpoint)
 	st := e.station
+	now := time.Now()
 	st.mu.Lock()
 	if j, ok := st.jobs[e.jobID]; ok {
 		j.shadow = nil
@@ -62,8 +71,13 @@ func (e *jobEvents) JobVacated(msg proto.JobVacatedMsg) {
 		j.status.ExecHost = ""
 		j.status.CPUSteps = msg.Steps
 		j.status.Checkpoints++
+		j.status.WaitingSince = now
 		markTransition(proto.JobIdle)
 		st.updateQueueGaugesLocked()
+		if j.meter != nil {
+			j.meter.ObserveSteps(msg.Steps)
+			j.meter.StartWaiting(now) // requeued: a new idle episode begins
+		}
 	}
 	st.mu.Unlock()
 	st.logEvent(eventlog.KindVacate, e.jobID, "", msg.Reason)
@@ -77,6 +91,9 @@ func (e *jobEvents) JobCheckpointed(msg proto.JobCheckpointMsg) {
 	if j, ok := st.jobs[e.jobID]; ok {
 		j.status.CPUSteps = msg.Steps
 		j.status.Checkpoints++
+		if j.meter != nil {
+			j.meter.ObserveSteps(msg.Steps)
+		}
 	}
 	st.mu.Unlock()
 	st.logEvent(eventlog.KindCheckpoint, e.jobID, "", "periodic")
@@ -107,13 +124,24 @@ func (e *jobEvents) JobResumed(jobID string) {
 // paper's guarantee that remote failures cannot lose the job.
 func (e *jobEvents) JobLost(jobID string, err error) {
 	st := e.station
+	now := time.Now()
 	st.mu.Lock()
 	if j, ok := st.jobs[jobID]; ok && !j.status.State.Terminal() {
 		j.shadow = nil
 		j.status.State = proto.JobIdle
 		j.status.ExecHost = ""
+		j.status.WaitingSince = now
 		markTransition(proto.JobIdle)
 		st.updateQueueGaugesLocked()
+		if j.meter != nil {
+			// The exec site died without a checkpoint: everything past the
+			// last stored checkpoint will be redone.
+			j.meter.Preempted()
+			if lost := j.meter.StepsBeyond(j.status.CPUSteps); lost > 0 {
+				j.meter.Badput(lost)
+			}
+			j.meter.StartWaiting(now)
+		}
 	}
 	st.mu.Unlock()
 	st.logEvent(eventlog.KindLost, jobID, "", err.Error())

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"condor/internal/accounting"
 	"condor/internal/cvm"
 	"condor/internal/eventlog"
 	"condor/internal/proto"
@@ -47,6 +48,11 @@ func (st *Station) handlerFor(peer *wire.Peer) wire.Handler {
 				events = st.events.Recent(m.Limit)
 			}
 			return proto.HistoryReply{Events: events}, nil
+		case proto.AccountingRequest:
+			// Stations answer with the process ledger (their jobs' meters
+			// live in accounting.Default); only the coordinator has an
+			// allocation view.
+			return proto.AccountingReply{Process: accounting.Default.Snapshot()}, nil
 		case proto.PreemptRequest:
 			return proto.PreemptReply{
 				Vacating: st.starter.Vacate(m.JobID, "preempted: "+m.Reason),

@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"condor/internal/accounting"
 	"condor/internal/ckpt"
 	"condor/internal/cvm"
 	"condor/internal/eventlog"
@@ -108,6 +109,10 @@ type job struct {
 	stackWords int
 	host       cvm.SyscallHandler
 	shadow     *ru.Shadow
+	// meter is the job's accounting meter (interned in accounting.Default
+	// at submit/recover time; retired when the job reaches a terminal
+	// state).
+	meter *accounting.Meter
 	// seq is the checkpoint sequence counter.
 	seq uint64
 	// traceCtx is the job's trace anchor: the submit span's context (or
@@ -239,19 +244,27 @@ func (st *Station) recoverJobs() {
 		if meta.SubmittedAtUnixMilli != 0 {
 			submittedAt = time.UnixMilli(meta.SubmittedAtUnixMilli)
 		}
+		recoveredAt := time.Now()
 		j := &job{
 			status: proto.JobStatus{
-				ID:          meta.JobID,
-				Owner:       meta.Owner,
-				Program:     meta.ProgramName,
-				State:       proto.JobIdle,
-				SubmittedAt: submittedAt,
-				CPUSteps:    meta.CPUSteps,
-				Checkpoints: int(meta.Sequence),
-				Priority:    meta.Priority,
+				ID:           meta.JobID,
+				Owner:        meta.Owner,
+				Program:      meta.ProgramName,
+				State:        proto.JobIdle,
+				SubmittedAt:  submittedAt,
+				CPUSteps:     meta.CPUSteps,
+				Checkpoints:  int(meta.Sequence),
+				Priority:     meta.Priority,
+				WaitingSince: recoveredAt,
 			},
-			host: st.cfg.Hosts(meta.JobID, meta.Owner),
+			host:  st.cfg.Hosts(meta.JobID, meta.Owner),
+			meter: accounting.Default.Job(meta.JobID, meta.Owner, st.cfg.Name),
 		}
+		// The recovered checkpoint already carries executed steps; a new
+		// idle episode starts now (the pre-crash wait was lost with the
+		// process, so it is not charged).
+		j.meter.ObserveSteps(meta.CPUSteps)
+		j.meter.StartWaiting(recoveredAt)
 		// Resume the job's trace from the checkpoint metadata and record
 		// a "recover" anchor span post-restart spans hang off, so one
 		// trace spans the schedd crash.
@@ -445,18 +458,21 @@ func (st *Station) SubmitJob(owner string, prog *cvm.Program, opts SubmitOptions
 
 	j := &job{
 		status: proto.JobStatus{
-			ID:          jobID,
-			Owner:       owner,
-			Program:     prog.Name,
-			State:       proto.JobIdle,
-			SubmittedAt: submittedAt,
-			Priority:    opts.Priority,
+			ID:           jobID,
+			Owner:        owner,
+			Program:      prog.Name,
+			State:        proto.JobIdle,
+			SubmittedAt:  submittedAt,
+			Priority:     opts.Priority,
+			WaitingSince: submittedAt,
 		},
 		program:    prog,
 		stackWords: opts.StackWords,
 		host:       st.cfg.Hosts(jobID, owner),
 		traceCtx:   traceCtx,
+		meter:      accounting.Default.Job(jobID, owner, st.cfg.Name),
 	}
+	j.meter.StartWaiting(submittedAt)
 	st.mu.Lock()
 	st.jobs[jobID] = j
 	st.order = append(st.order, jobID)
@@ -538,6 +554,7 @@ func (st *Station) Remove(jobID string) bool {
 	}
 	_ = st.cfg.Store.Delete(jobID)
 	if !wasTerminal {
+		accounting.Default.Retire(jobID)
 		st.logEvent(eventlog.KindRemove, jobID, st.cfg.Name, "")
 		st.notifyWaiters(jobID, status)
 	}
@@ -698,14 +715,17 @@ func (st *Station) PlaceNext(execName, execAddr string) (string, error) {
 	}
 	span.Finish()
 
+	placedAt := time.Now()
 	st.mu.Lock()
 	j.shadow = shadow
 	j.status.State = proto.JobRunning
 	j.status.ExecHost = execName
 	j.status.Placements++
-	st.lastPlacement = time.Now()
+	j.status.WaitingSince = time.Time{}
+	st.lastPlacement = placedAt
 	st.updateQueueGaugesLocked()
 	st.mu.Unlock()
+	j.meter.Placed(placedAt)
 	markTransition(proto.JobRunning)
 	st.logEvent(eventlog.KindPlace, jobID, execName, "")
 	return jobID, nil

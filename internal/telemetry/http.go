@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 )
@@ -25,6 +26,55 @@ func Handle(pattern string, h http.Handler) {
 	extraMu.Lock()
 	defer extraMu.Unlock()
 	extraHandlers[pattern] = h
+}
+
+// Readiness checks turn /healthz from a liveness ping into a readiness
+// probe: a daemon registers a check describing a condition under which
+// it must stop looking healthy (the coordinator registers "poll cycles
+// are still running and the journal is writable"), and any failing check
+// makes every Serve listener answer 503. Deregistration on daemon close
+// keeps the registry scoped to live components.
+var (
+	readyMu     sync.Mutex
+	readyChecks = map[string]func() error{}
+)
+
+// RegisterReadiness installs a named readiness check evaluated on every
+// /healthz request. check returns nil when ready, an error describing
+// why not otherwise. Re-registering a name replaces the check.
+func RegisterReadiness(name string, check func() error) {
+	readyMu.Lock()
+	defer readyMu.Unlock()
+	readyChecks[name] = check
+}
+
+// UnregisterReadiness removes a named check (a closed daemon must not
+// keep the process unready).
+func UnregisterReadiness(name string) {
+	readyMu.Lock()
+	defer readyMu.Unlock()
+	delete(readyChecks, name)
+}
+
+// readinessFailures evaluates all checks and returns "name: error"
+// lines, sorted for deterministic output (empty when all ready).
+func readinessFailures() []string {
+	readyMu.Lock()
+	names := make([]string, 0, len(readyChecks))
+	checks := make([]func() error, 0, len(readyChecks))
+	for name, check := range readyChecks {
+		names = append(names, name)
+		checks = append(checks, check)
+	}
+	readyMu.Unlock()
+	var failures []string
+	for i, check := range checks {
+		if err := check(); err != nil {
+			failures = append(failures, fmt.Sprintf("%s: %v", names[i], err))
+		}
+	}
+	sort.Strings(failures)
+	return failures
 }
 
 // Handler returns an http.Handler serving the registry's exposition page
@@ -57,6 +107,14 @@ func Serve(addr string, reg *Registry) (*Server, error) {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", reg.Handler())
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		if failures := readinessFailures(); len(failures) > 0 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprint(w, "not ready\n")
+			for _, f := range failures {
+				fmt.Fprintln(w, f)
+			}
+			return
+		}
 		fmt.Fprintf(w, "ok\nuptime %s\ngoroutines %d\n",
 			time.Since(s.started).Round(time.Second), runtime.NumGoroutine())
 	})
