@@ -7,7 +7,7 @@ GO ?= go
 # The benchmarks tracked in BENCH_baseline.json: telemetry and
 # accounting hot paths (the per-syscall meter must stay 0 allocs/op),
 # wire round trips, journal appends, coordinator cycles, and tracing.
-BASELINE_BENCH = 'BenchmarkTelemetryObserve$$|BenchmarkTelemetryCounter$$|BenchmarkFrameRoundTrip$$|BenchmarkJournalAppend|BenchmarkCycle100$$|BenchmarkCycle1000$$|BenchmarkTraceSpan$$|BenchmarkTraceSampledOut$$|BenchmarkTraceparentParse$$|BenchmarkAccountingSyscall$$|BenchmarkAccountingSyscallParallel$$|BenchmarkLedgerSnapshot$$'
+BASELINE_BENCH = 'BenchmarkTelemetryObserve$$|BenchmarkTelemetryCounter$$|BenchmarkFrameRoundTrip$$|BenchmarkJournalAppend|BenchmarkCycle100$$|BenchmarkCycle1000$$|BenchmarkTraceSpan$$|BenchmarkTraceSampledOut$$|BenchmarkTraceparentParse$$|BenchmarkAccountingSyscall$$|BenchmarkAccountingSyscallParallel$$|BenchmarkLedgerSnapshot$$|BenchmarkHealthObserve$$'
 BASELINE_PKGS = ./internal/telemetry/ ./internal/wire/ ./internal/journal/ ./internal/coordinator/ ./internal/trace/ ./internal/accounting/
 
 all: verify
@@ -37,11 +37,13 @@ race:
 	$(GO) test -race ./...
 
 # Crash-recovery and fault-injection suite: journal torn-tail fuzz,
-# coordinator replay fuzz, crash/restart recovery, and the end-to-end
-# pool chaos run (the long e2e half is skipped under -short).
+# coordinator replay fuzz, crash/restart recovery, the graded-health
+# state machine (quarantine, flap, byzantine), and the cluster-level
+# chaos harness (partitions, slow links, scenario runner). Set
+# CONDOR_CHAOS_LONG=1 for the nightly multi-seed soak.
 chaos:
-	$(GO) test -race -count=2 -run 'Crash|Chaos|Replay|Torn|Truncat|Recovery' \
-		./internal/journal/... ./internal/coordinator/... ./internal/schedd/...
+	$(GO) test -race -count=2 -run 'Crash|Chaos|Replay|Torn|Truncat|Recovery|Scenario|Partition|Quarantine|Flap|Byzantine' \
+		./internal/journal/... ./internal/coordinator/... ./internal/schedd/... ./internal/chaos/...
 
 # Regenerate every table and figure of the paper (tee'd outputs land in
 # test_output.txt / bench_output.txt).

@@ -10,6 +10,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"strings"
 	"time"
 
 	"condor/internal/metrics"
@@ -64,6 +65,7 @@ func run(coordAddr string) error {
 		}
 		rows = append(rows, []string{
 			s.Name, s.State.String(),
+			healthCell(s, now),
 			fmt.Sprintf("%d", s.WaitingJobs),
 			fmt.Sprintf("%d", s.RunningJobs),
 			s.ForeignJob,
@@ -74,12 +76,34 @@ func run(coordAddr string) error {
 		})
 	}
 	fmt.Print(metrics.Table(
-		[]string{"Station", "State", "Waiting", "Running", "ForeignJob", "Index", "Trend", "Reserved", "LastSeen"},
+		[]string{"Station", "State", "Health", "Waiting", "Running", "ForeignJob", "Index", "Trend", "Reserved", "LastSeen"},
 		rows))
 	w := sr.Wire
 	fmt.Printf("\nwire: %d dials, %d reuses, %d reconnects, %d evictions, %d retries\n",
 		w.Dials, w.Reuses, w.Reconnects, w.Evictions, w.Retries)
 	return nil
+}
+
+// healthCell renders a station's graded health as e.g.
+// "suspect 12s (slow)" — state, time-in-state, and the coarse reason
+// behind a non-healthy grade. Healthy stations render as a bare "ok"
+// so trouble stands out in the column.
+func healthCell(s proto.StationInfo, now time.Time) string {
+	switch s.Health {
+	case 0:
+		return "-" // pre-health coordinator
+	case proto.HealthHealthy:
+		return "ok"
+	}
+	cell := fmt.Sprintf("%s %s", s.Health, now.Sub(s.HealthSince).Round(time.Second))
+	if s.HealthReason != "" {
+		reason := s.HealthReason
+		if i := strings.IndexByte(reason, ':'); i > 0 {
+			reason = reason[:i]
+		}
+		cell += " (" + reason + ")"
+	}
+	return cell
 }
 
 // printCoordinator summarizes the daemon itself: restart lineage,
@@ -92,12 +116,14 @@ func printCoordinator(ci proto.CoordinatorInfo) {
 	if !ci.Persistent {
 		fmt.Printf("coordinator: in-memory, up %s, %d cycles\n", uptime, ci.Cycles)
 		printAllocation(ci)
+		printHealth(ci)
 		fmt.Println()
 		return
 	}
 	j := ci.Journal
 	fmt.Printf("coordinator: incarnation %d, up %s, %d cycles\n", ci.Incarnation, uptime, ci.Cycles)
 	printAllocation(ci)
+	printHealth(ci)
 	fmt.Printf("journal: %d appends, %d snapshots, %d B log", j.Appends, j.Snapshots, j.LogBytes)
 	if j.Replayed > 0 || j.TruncatedBytes > 0 {
 		fmt.Printf("; recovered %d records (%d torn bytes truncated)", j.Replayed, j.TruncatedBytes)
@@ -107,6 +133,19 @@ func printCoordinator(ci proto.CoordinatorInfo) {
 	}
 	fmt.Println()
 	fmt.Println()
+}
+
+// printHealth summarizes the pool's graded-health activity and flags
+// degraded mode (Up-Down penalties frozen) loudly.
+func printHealth(ci proto.CoordinatorInfo) {
+	if ci.Degraded {
+		fmt.Println("health: DEGRADED — too much of the pool is non-healthy; Up-Down index penalties frozen")
+	}
+	if ci.Suspects == 0 && ci.Quarantines == 0 && ci.ByzantineReplies == 0 {
+		return
+	}
+	fmt.Printf("health: %d suspects, %d quarantines, %d readmissions, %d byzantine replies\n",
+		ci.Suspects, ci.Quarantines, ci.Readmissions, ci.ByzantineReplies)
 }
 
 // printAllocation summarizes grant and preemption activity.

@@ -1,0 +1,82 @@
+package chaos
+
+import (
+	"context"
+	"sync"
+
+	"condor/internal/proto"
+	"condor/internal/wire"
+)
+
+// ByzantineStation is a wire server that answers the coordinator like a
+// station would — but lies. Every poll reply is well-formed on the wire
+// and impossible in content, rotating through the coordinator's
+// byzantine signatures: claiming another station's identity, negative
+// capacity, an out-of-range state, and a foreign job the coordinator
+// never placed. The health machinery must quarantine it on first
+// contact and never readmit it while it keeps lying.
+type ByzantineStation struct {
+	name string
+	srv  *wire.Server
+
+	mu    sync.Mutex
+	polls int
+}
+
+// NewByzantineStation starts the liar. Register its Addr() with a
+// coordinator under `name` to let it poison the pool.
+func NewByzantineStation(name string) (*ByzantineStation, error) {
+	b := &ByzantineStation{name: name}
+	srv, err := wire.NewServer("127.0.0.1:0", func(pe *wire.Peer) wire.Handler {
+		return b.handle
+	})
+	if err != nil {
+		return nil, err
+	}
+	b.srv = srv
+	return b, nil
+}
+
+// Addr returns the liar's listen address.
+func (b *ByzantineStation) Addr() string { return b.srv.Addr() }
+
+// Polls returns how many polls the liar has answered.
+func (b *ByzantineStation) Polls() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.polls
+}
+
+// Close stops the server.
+func (b *ByzantineStation) Close() { b.srv.Close() }
+
+func (b *ByzantineStation) handle(_ context.Context, msg any) (any, error) {
+	switch msg.(type) {
+	case proto.PollRequest:
+		b.mu.Lock()
+		n := b.polls
+		b.polls++
+		b.mu.Unlock()
+		reply := proto.PollReply{Name: b.name, State: proto.StationIdle}
+		switch n % 4 {
+		case 0: // claims to be someone else
+			reply.Name = "not-" + b.name
+		case 1: // negative capacity
+			reply.DiskFreeBytes = -1 << 40
+		case 2: // impossible scheduling state
+			reply.State = proto.StationState(42)
+		case 3: // a job the coordinator never placed
+			reply.State = proto.StationClaimed
+			reply.ForeignJob = "phantom/99"
+			reply.ForeignOwnerStation = "no-such-station"
+		}
+		return reply, nil
+	case proto.GrantRequest:
+		// Accept the grant but name no job — the grant-path byzantine
+		// signature (should never be reachable: a quarantined liar gets
+		// no grants).
+		return proto.GrantReply{Used: true}, nil
+	default:
+		return proto.PollReply{Name: b.name, State: proto.StationIdle}, nil
+	}
+}

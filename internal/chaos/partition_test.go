@@ -1,0 +1,242 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+
+	"condor/internal/coordinator"
+	"condor/internal/cvm"
+	"condor/internal/eventlog"
+	"condor/internal/machine"
+	"condor/internal/proto"
+	"condor/internal/ru"
+	"condor/internal/schedd"
+	"condor/internal/wire"
+)
+
+// partitionCluster wires one station behind a proxy into a manually
+// cycled coordinator. The station registers its proxy address
+// (AdvertiseAddr), so coordinator→station traffic rides the proxy while
+// station→coordinator traffic goes direct — the asymmetry one-way
+// partitions need.
+func partitionCluster(t *testing.T, cfg coordinator.Config) (*coordinator.Coordinator, *schedd.Station, *Proxy) {
+	t.Helper()
+	if cfg.PollInterval == 0 {
+		cfg.PollInterval = time.Hour
+	}
+	if cfg.RPCTimeout == 0 {
+		cfg.RPCTimeout = 250 * time.Millisecond
+	}
+	if cfg.DialTimeout == 0 {
+		cfg.DialTimeout = 150 * time.Millisecond
+	}
+	if cfg.DeadAfter == 0 {
+		cfg.DeadAfter = 100_000
+	}
+	coord, err := coordinator.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(coord.Close)
+	proxy, err := NewProxy("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(proxy.Close)
+	st, err := schedd.New(schedd.Config{
+		Name:          "ws1",
+		AdvertiseAddr: proxy.Addr(),
+		Monitor:       machine.NewScriptedMonitor(false),
+		Starter: ru.StarterConfig{
+			ScanInterval:  3 * time.Millisecond,
+			SuspendGrace:  20 * time.Millisecond,
+			StepsPerSlice: 5_000,
+		},
+		DialTimeout: time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(st.Close)
+	proxy.SetTarget(st.Addr())
+	if err := st.Register(coord.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	return coord, st, proxy
+}
+
+func stationHealth(coord *coordinator.Coordinator, name string) proto.StationHealth {
+	for _, si := range coord.Stations() {
+		if si.Name == name {
+			return si.Health
+		}
+	}
+	return 0
+}
+
+// TestOneWayPartitionInboundBlackholed: coordinator→station traffic is
+// blackholed while station→coordinator flows. The coordinator's polls
+// fail (its requests never arrive), the station degrades to suspect and
+// on to quarantine, and after the heal — mid-cycle, with a poll likely
+// stalled in flight — the station is readmitted and its schedule index
+// survives the episode (quarantine holds identity, it does not remove).
+func TestOneWayPartitionInboundBlackholed(t *testing.T) {
+	coord, _, proxy := partitionCluster(t, coordinator.Config{
+		Health: coordinator.HealthConfig{ProbeBase: 10 * time.Millisecond, ProbeMax: 50 * time.Millisecond},
+	})
+	coord.Cycle() // one clean poll
+	if got := stationHealth(coord, "ws1"); got != proto.HealthHealthy {
+		t.Fatalf("precondition: health = %v", got)
+	}
+	indexBefore := coord.Index("ws1")
+
+	proxy.SetPlans(wire.FaultPlan{StallWrites: true}, wire.FaultPlan{})
+	for i := 0; i < 3; i++ {
+		coord.Cycle()
+	}
+	if got := stationHealth(coord, "ws1"); got != proto.HealthQuarantined {
+		t.Fatalf("after inbound blackhole: health = %v, want quarantined", got)
+	}
+
+	// Heal mid-cycle: clear the plan while a probe may be mid-stall (the
+	// FaultConn wakes it). Drive until readmitted.
+	proxy.SetPlans(wire.FaultPlan{}, wire.FaultPlan{})
+	deadline := time.Now().Add(10 * time.Second)
+	for stationHealth(coord, "ws1") != proto.HealthHealthy {
+		if time.Now().After(deadline) {
+			t.Fatalf("never readmitted; health = %v", stationHealth(coord, "ws1"))
+		}
+		coord.Cycle()
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := coord.Index("ws1"); got != indexBefore {
+		t.Fatalf("schedule index %v → %v across partition, want preserved", indexBefore, got)
+	}
+	if coord.Stats().Readmissions == 0 {
+		t.Fatal("no readmission counted")
+	}
+}
+
+// TestOneWayPartitionOutboundBlackholed: station→coordinator replies are
+// blackholed while coordinator→station requests flow. The station hears
+// every poll (so its registrar stays quiet) but the coordinator sees
+// timeouts; same quarantine-and-readmit arc, and no duplicate grant may
+// be issued around the heal.
+func TestOneWayPartitionOutboundBlackholed(t *testing.T) {
+	coord, st, proxy := partitionCluster(t, coordinator.Config{
+		Health: coordinator.HealthConfig{ProbeBase: 10 * time.Millisecond, ProbeMax: 50 * time.Millisecond},
+	})
+	coord.Cycle()
+	lastHeard := st.LastPolled()
+
+	proxy.SetPlans(wire.FaultPlan{}, wire.FaultPlan{StallWrites: true})
+	for i := 0; i < 3; i++ {
+		coord.Cycle()
+	}
+	if got := stationHealth(coord, "ws1"); got != proto.HealthQuarantined {
+		t.Fatalf("after outbound blackhole: health = %v, want quarantined", got)
+	}
+	// The asymmetry: the station kept *hearing* polls (requests flowed),
+	// even though the coordinator never saw an answer.
+	if !st.LastPolled().After(lastHeard) {
+		t.Fatal("station never heard a poll during the outbound-only partition")
+	}
+
+	proxy.SetPlans(wire.FaultPlan{}, wire.FaultPlan{})
+	deadline := time.Now().Add(10 * time.Second)
+	for stationHealth(coord, "ws1") != proto.HealthHealthy {
+		if time.Now().After(deadline) {
+			t.Fatalf("never readmitted; health = %v", stationHealth(coord, "ws1"))
+		}
+		coord.Cycle()
+		time.Sleep(5 * time.Millisecond)
+	}
+	// No duplicate grant: the station had no jobs, so nothing may have
+	// been granted at all around the partition and heal.
+	if stats := coord.Stats(); stats.Grants != 0 {
+		t.Fatalf("grants = %d during a jobless partition episode", stats.Grants)
+	}
+}
+
+// TestPartitionedStationKeepsRunningJob: a grant lands, the exec's link
+// partitions, and the foreign job keeps running through quarantine —
+// suspect/quarantined stations keep their work (the paper's "no single
+// failure loses work"), and no second execution starts meanwhile.
+func TestPartitionedStationKeepsRunningJob(t *testing.T) {
+	// Two stations: home submits, exec runs. Both behind proxies.
+	dir := t.TempDir()
+	coord, home, homeProxy := partitionCluster(t, coordinator.Config{StateDir: dir,
+		Health: coordinator.HealthConfig{ProbeBase: 10 * time.Millisecond, ProbeMax: 50 * time.Millisecond}})
+	_ = homeProxy
+	execProxy, err := NewProxy("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(execProxy.Close)
+	exec, err := schedd.New(schedd.Config{
+		Name:          "ws2",
+		AdvertiseAddr: execProxy.Addr(),
+		Monitor:       machine.NewScriptedMonitor(false),
+		Starter: ru.StarterConfig{
+			ScanInterval:  3 * time.Millisecond,
+			SuspendGrace:  20 * time.Millisecond,
+			StepsPerSlice: 500,
+			SliceDelay:    2 * time.Millisecond, // slow burn: outlives the partition
+		},
+		DialTimeout: time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(exec.Close)
+	execProxy.SetTarget(exec.Addr())
+	if err := exec.Register(coord.Addr()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Home wants its job run remotely; make home owner-active so the
+	// only idle machine is ws2.
+	jobID, err := home.Submit("alice", cvm.SumProgram(400_000), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(20 * time.Second)
+	for coord.Stats().GrantsUsed == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("grant never landed")
+		}
+		coord.Cycle()
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Partition the exec station's inbound path; cycles push it through
+	// suspect into quarantine while the shadow connection (home→exec,
+	// direct-dialed at placement time through the proxy's established
+	// link) keeps the job alive.
+	execProxy.SetPlans(wire.FaultPlan{StallWrites: true}, wire.FaultPlan{})
+	for i := 0; i < 3; i++ {
+		coord.Cycle()
+	}
+	if got := stationHealth(coord, "ws2"); got != proto.HealthQuarantined {
+		t.Fatalf("exec health = %v, want quarantined", got)
+	}
+
+	// Heal; the job must complete exactly once.
+	execProxy.SetPlans(wire.FaultPlan{}, wire.FaultPlan{})
+	status, err := home.Wait(jobID, 60*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status.State != proto.JobCompleted {
+		t.Fatalf("job state = %v, want completed", status.State)
+	}
+	completes := 0
+	for _, e := range home.Events().ForJob(jobID) {
+		if e.Kind == eventlog.KindComplete {
+			completes++
+		}
+	}
+	if completes != 1 {
+		t.Fatalf("job completed %d times, want exactly 1", completes)
+	}
+}

@@ -74,8 +74,15 @@ type Config struct {
 	// UpDown tunes the fairness index; zero value means defaults.
 	UpDown updown.Config
 	// DeadAfter unregisters a station that has failed this many
-	// consecutive polls (default 5).
+	// consecutive contacts (default 5). With graded health this is the
+	// final escalation: quarantined stations keep accruing misses
+	// through their backoff probes until this threshold declares them
+	// dead.
 	DeadAfter int
+	// Health tunes the graded station-health state machine (healthy →
+	// suspect → quarantined → dead); zero value selects defaults derived
+	// from PollInterval and RPCTimeout. See HealthConfig.
+	Health HealthConfig
 	// PollConcurrency caps how many station polls run at once in a
 	// cycle (default 64). Without a cap a 10k-station pool would burst
 	// 10k goroutines and dials every cycle; with it the fan-out streams
@@ -120,6 +127,7 @@ func (c *Config) sanitize() {
 	if c.SnapshotEvery <= 0 {
 		c.SnapshotEvery = 16
 	}
+	c.Health.sanitize(c.PollInterval, c.RPCTimeout)
 	// Sanitize sub-configs field-by-field: a partially filled struct keeps
 	// every field the user set and defaults only the rest. (Replacing the
 	// whole struct when one sentinel field was zero used to clobber, e.g.,
@@ -163,8 +171,12 @@ type station struct {
 	addr      string
 	lastPoll  time.Time
 	lastReply proto.PollReply
-	failures  int
 	reachable bool
+	// health is the station's graded-health record (see health.go). It
+	// subsumes the old consecutive-failure counter: misses are tracked
+	// over a sliding window, so a flapping station can no longer reset
+	// its record with a single lucky success.
+	health health
 }
 
 // Stats counts coordinator activity.
@@ -178,6 +190,15 @@ type Stats struct {
 	// no idle jobs, disk full, owner returned mid-grant).
 	GrantsDenied uint64
 	Preempts     uint64
+	// Graded-health activity: stations marked suspect, quarantine
+	// entries, quarantined stations readmitted to healthy, poll replies
+	// rejected as byzantine, and cycles spent in degraded mode (up-down
+	// movement frozen because too much of the pool was non-healthy).
+	Suspects         uint64
+	Quarantines      uint64
+	Readmissions     uint64
+	ByzantineReplies uint64
+	DegradedCycles   uint64
 	// Wire-client activity on the pooled station connections: fresh
 	// dials, calls served by a cached connection, dials replacing a dead
 	// one, idle evictions, and CallRetry re-attempts.
@@ -231,6 +252,14 @@ type Coordinator struct {
 	stations     map[string]*station
 	stats        Stats
 	reservations map[string]reservation
+	// removed is a bounded tombstone set of recently unregistered
+	// stations: a poll reply attributing a foreign job to one of these is
+	// legitimate (the home died after placing it), not byzantine.
+	removed map[string]time.Time
+	// degraded is set while more than Health.MaxUnhealthyFrac of the
+	// pool is non-healthy; up-down index movement is frozen so users are
+	// not charged for infrastructure failure.
+	degraded bool
 
 	stop      chan struct{}
 	done      chan struct{}
@@ -380,7 +409,17 @@ func (c *Coordinator) registerLocked(name, addr string) {
 		// StartRegistrar's periodic re-registration.
 		c.appendJournalLocked(persistRecord{Kind: recRegister, Name: name, Addr: addr})
 	}
-	c.stations[name] = &station{name: name, addr: addr, reachable: true}
+	s := &station{name: name, addr: addr, reachable: true}
+	if known {
+		// Health survives re-registration: a quarantined station cannot
+		// launder its record by registering again — it still has to pass
+		// its readmission probes.
+		s.health = prev.health
+	} else {
+		s.health = newHealth(name, time.Now())
+	}
+	c.stations[name] = s
+	delete(c.removed, name)
 	mStations.Set(int64(len(c.stations)))
 	c.table.Touch(name)
 }
@@ -407,6 +446,10 @@ func (c *Coordinator) Stations() []proto.StationInfo {
 			IndexHistory:  c.table.History(s.name),
 			LastPoll:      s.lastPoll,
 			DiskFreeBytes: s.lastReply.DiskFreeBytes,
+			Health:        s.health.state,
+			HealthSince:   s.health.since,
+			HealthReason:  s.health.reason,
+			Suspicion:     s.health.suspicion,
 		}
 		if holder := c.reservationForLocked(s.name, now); holder != "" {
 			info.ReservedFor = holder
@@ -480,6 +523,9 @@ func (c *Coordinator) handlerFor(peer *wire.Peer) wire.Handler {
 			}, nil
 		case proto.PoolStatusRequest:
 			stats := c.Stats()
+			c.mu.Lock()
+			degraded := c.degraded
+			c.mu.Unlock()
 			return proto.PoolStatusReply{
 				Stations: c.Stations(),
 				Wire: proto.WireStats{
@@ -497,6 +543,11 @@ func (c *Coordinator) handlerFor(peer *wire.Peer) wire.Handler {
 					GrantsUsed:        stats.GrantsUsed,
 					GrantsDenied:      stats.GrantsDenied,
 					Preempts:          stats.Preempts,
+					Degraded:          degraded,
+					Suspects:          stats.Suspects,
+					Quarantines:       stats.Quarantines,
+					Readmissions:      stats.Readmissions,
+					ByzantineReplies:  stats.ByzantineReplies,
 					Persistent:        c.journal != nil,
 					Journal: proto.JournalStats{
 						Appends:        stats.JournalAppends,
@@ -536,8 +587,16 @@ func (c *Coordinator) Cycle() {
 	defer func() { mCycleDuration.ObserveDuration(time.Since(cycleStart)) }()
 	c.mu.Lock()
 	c.stats.Cycles++
+	if c.degraded {
+		c.stats.DegradedCycles++
+	}
 	targets := make([]*station, 0, len(c.stations))
 	for _, s := range c.stations {
+		if s.health.state == proto.HealthQuarantined && cycleStart.Before(s.health.probeAt) {
+			// Quarantined stations leave the per-cycle fan-out; they are
+			// probed on their own jittered exponential-backoff schedule.
+			continue
+		}
 		targets = append(targets, s)
 	}
 	c.mu.Unlock()
@@ -555,6 +614,7 @@ func (c *Coordinator) Cycle() {
 		name  string
 		addr  string
 		reply proto.PollReply
+		rtt   time.Duration
 		err   error
 	}
 	results := make([]pollResult, len(targets))
@@ -575,9 +635,10 @@ func (c *Coordinator) Cycle() {
 			mPollInFlight.Inc()
 			pollStart := time.Now()
 			reply, err := c.pollStation(addr)
-			mPollLatency.ObserveDuration(time.Since(pollStart))
+			rtt := time.Since(pollStart)
+			mPollLatency.ObserveDuration(rtt)
 			mPollInFlight.Dec()
-			results[i] = pollResult{name: name, addr: addr, reply: reply, err: err}
+			results[i] = pollResult{name: name, addr: addr, reply: reply, rtt: rtt, err: err}
 		}()
 	}
 	wg.Wait()
@@ -596,27 +657,33 @@ func (c *Coordinator) Cycle() {
 		if r.err != nil {
 			c.stats.PollFails++
 			mPollFails.Inc()
-			s.failures++
 			s.reachable = false
-			if s.failures >= c.cfg.DeadAfter {
-				delete(c.stations, s.name)
-				mStations.Set(int64(len(c.stations)))
-				c.table.Remove(s.name)
-				c.appendJournalLocked(persistRecord{Kind: recUnregister, Name: s.name})
-				invalidate = append(invalidate, s.addr)
-				c.events.Append(eventlog.Event{
-					Kind: eventlog.KindDead, Station: s.name,
-					Detail: fmt.Sprintf("%d consecutive poll failures", s.failures),
-				})
+			s.health.observe(&c.cfg.Health, r.rtt, false)
+			if addr := c.evalHealthLocked(s, now, false, ""); addr != "" {
+				invalidate = append(invalidate, addr)
 			}
 			continue
 		}
 		c.stats.Polls++
-		s.failures = 0
+		s.health.observe(&c.cfg.Health, r.rtt, true)
+		// A decoded reply can still be a lie: validate it for impossible
+		// claims before trusting it for allocation.
+		byz := byzantineReason(r.name, r.reply, c.knownHomeLocked)
+		if addr := c.evalHealthLocked(s, now, true, byz); addr != "" {
+			invalidate = append(invalidate, addr)
+			continue
+		}
+		if byz != "" {
+			// The reply is poison; keep the previous picture of the
+			// station and leave it unreachable for this cycle's decisions.
+			s.reachable = false
+			continue
+		}
 		s.reachable = true
 		s.lastReply = r.reply
 		s.lastPoll = now
 	}
+	c.updateDegradedLocked(now)
 
 	// Update Up-Down indexes from the fresh pool picture. The updated
 	// values are journaled as one batch record per cycle — absolute
@@ -631,8 +698,19 @@ func (c *Coordinator) Cycle() {
 			continue
 		}
 		states[s.lastReply.State]++
-		c.table.Update(s.name, held[s.name], s.lastReply.WaitingJobs > 0)
-		updated[s.name] = c.table.Index(s.name)
+		if !c.degraded {
+			// Degraded mode freezes up-down movement: when most of the
+			// pool is unreachable, "holding" or "wanting" reflects the
+			// infrastructure failure, not user behaviour, and charging (or
+			// crediting) indexes for it would corrupt the fairness memory.
+			c.table.Update(s.name, held[s.name], s.lastReply.WaitingJobs > 0)
+			updated[s.name] = c.table.Index(s.name)
+		}
+		if s.health.state != proto.HealthHealthy {
+			// Suspect stations receive no new grants and donate no
+			// capacity — they keep their running jobs, nothing more.
+			continue
+		}
 		views = append(views, policy.StationView{
 			Name:         s.name,
 			State:        s.lastReply.State,
@@ -711,7 +789,21 @@ func (c *Coordinator) Cycle() {
 			c.led.GrantDenied(g.Requester)
 			continue
 		}
-		if gr, ok := reply.(proto.GrantReply); ok && gr.Used {
+		if gr, ok := reply.(proto.GrantReply); ok && gr.Used && gr.JobID == "" {
+			// "Used" with no job named is a grant the coordinator never
+			// placed — the byzantine signature on the grant path.
+			c.mu.Lock()
+			if s, ok := c.stations[g.Requester]; ok {
+				c.stats.ByzantineReplies++
+				mByzantine.Inc()
+				c.setHealthLocked(s, proto.HealthQuarantined,
+					"byzantine: claims used grant but names no job", time.Now())
+			}
+			c.mu.Unlock()
+			c.bump(func(st *Stats) { st.GrantsDenied++ })
+			mGrantsDenied.Inc()
+			c.led.GrantDenied(g.Requester)
+		} else if gr, ok := reply.(proto.GrantReply); ok && gr.Used {
 			c.bump(func(st *Stats) { st.GrantsUsed++ })
 			mGrantsUsed.Inc()
 			c.led.GrantUsed(g.Requester)

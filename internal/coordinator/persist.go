@@ -7,6 +7,7 @@ import (
 
 	"condor/internal/accounting"
 	"condor/internal/journal"
+	"condor/internal/proto"
 )
 
 // The coordinator's durable-state layer. With Config.StateDir set, every
@@ -28,6 +29,7 @@ const (
 	recReserve    = "reserve"    // reservation granted or extended
 	recCancel     = "cancel"     // reservation released
 	recAcct       = "acct"       // one cycle's absolute allocation totals
+	recHealth     = "health"     // station health-state transition
 )
 
 // persistRecord is one journaled state delta. Index values are absolute
@@ -47,12 +49,26 @@ type persistRecord struct {
 	// Alloc carries per-station allocation totals (acct records). Values
 	// are absolute, like Indexes.
 	Alloc map[string]accounting.AllocTotals
+	// Health, Reason, and SinceUnixMilli describe a station health-state
+	// transition (health records): the absolute state after the
+	// transition, why, and when. Gob tolerates these fields missing in
+	// old logs and ignores them in old binaries, both directions.
+	Health         int
+	Reason         string
+	SinceUnixMilli int64
 }
 
 // persistReservation is a reservation inside a snapshot.
 type persistReservation struct {
 	Holder         string
 	UntilUnixMilli int64
+}
+
+// persistHealth is one station's health state inside a snapshot.
+type persistHealth struct {
+	State          int
+	Reason         string
+	SinceUnixMilli int64
 }
 
 // persistState is the full snapshot payload.
@@ -65,6 +81,10 @@ type persistState struct {
 	Reservations map[string]persistReservation
 	// Alloc is the accounting ledger's per-station allocation totals.
 	Alloc map[string]accounting.AllocTotals
+	// Health maps station → graded health state, so a quarantine
+	// survives a coordinator restart (the station must still pass its
+	// readmission probes under the new incarnation).
+	Health map[string]persistHealth
 }
 
 func encodeRecord(rec persistRecord) ([]byte, error) {
@@ -107,6 +127,7 @@ func rebuildState(snapshot []byte, records [][]byte, now time.Time) (persistStat
 		Indexes:      make(map[string]float64),
 		Reservations: make(map[string]persistReservation),
 		Alloc:        make(map[string]accounting.AllocTotals),
+		Health:       make(map[string]persistHealth),
 	}
 	skipped := 0
 	if snapshot != nil {
@@ -122,6 +143,9 @@ func rebuildState(snapshot []byte, records [][]byte, now time.Time) (persistStat
 			}
 			for k, v := range snap.Alloc {
 				st.Alloc[k] = v
+			}
+			for k, v := range snap.Health {
+				st.Health[k] = v
 			}
 		} else {
 			skipped++
@@ -143,6 +167,7 @@ func rebuildState(snapshot []byte, records [][]byte, now time.Time) (persistStat
 			delete(st.Stations, rec.Name)
 			delete(st.Indexes, rec.Name)
 			delete(st.Reservations, rec.Name)
+			delete(st.Health, rec.Name)
 		case recUpdown:
 			for name, idx := range rec.Indexes {
 				st.Indexes[name] = idx
@@ -157,6 +182,12 @@ func rebuildState(snapshot []byte, records [][]byte, now time.Time) (persistStat
 		case recAcct:
 			for name, a := range rec.Alloc {
 				st.Alloc[name] = a
+			}
+		case recHealth:
+			st.Health[rec.Name] = persistHealth{
+				State:          rec.Health,
+				Reason:         rec.Reason,
+				SinceUnixMilli: rec.SinceUnixMilli,
 			}
 		default:
 			skipped++
@@ -182,8 +213,26 @@ func (c *Coordinator) openJournal() error {
 	c.journal = j
 	st, skipped := rebuildState(recovered.Snapshot, recovered.Records, time.Now())
 	c.stats.JournalErrors += uint64(skipped)
+	now := time.Now()
 	for name, addr := range st.Stations {
-		c.stations[name] = &station{name: name, addr: addr, reachable: true}
+		s := &station{name: name, addr: addr, reachable: true}
+		s.health = newHealth(name, now)
+		if h, ok := st.Health[name]; ok && h.State != 0 {
+			s.health.state = proto.StationHealth(h.State)
+			s.health.reason = h.Reason
+			s.health.since = time.UnixMilli(h.SinceUnixMilli)
+			if s.health.state != proto.HealthHealthy {
+				s.health.unhealthySince = s.health.since
+			}
+			if s.health.state == proto.HealthQuarantined {
+				// Probe promptly under the new incarnation: the old
+				// backoff schedule died with the old process, and the
+				// station still has to earn readmission.
+				s.health.backoff = c.cfg.Health.ProbeBase
+				s.health.probeAt = now
+			}
+		}
+		c.stations[name] = s
 	}
 	c.table.Restore(st.Indexes)
 	c.led.RestoreAlloc(st.Alloc)
@@ -234,9 +283,19 @@ func (c *Coordinator) snapshotJournal() {
 		Indexes:      c.table.Snapshot(),
 		Reservations: make(map[string]persistReservation, len(c.reservations)),
 		Alloc:        c.led.AllocSnapshot(),
+		Health:       make(map[string]persistHealth, len(c.stations)),
 	}
 	for name, s := range c.stations {
 		st.Stations[name] = s.addr
+		if s.health.state != 0 && s.health.state != proto.HealthHealthy {
+			// Healthy is the default on restore; snapshotting only the
+			// exceptions keeps snapshots quiet for a healthy pool.
+			st.Health[name] = persistHealth{
+				State:          int(s.health.state),
+				Reason:         s.health.reason,
+				SinceUnixMilli: s.health.since.UnixMilli(),
+			}
+		}
 	}
 	now := time.Now()
 	for name, r := range c.reservations {

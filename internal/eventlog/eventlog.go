@@ -34,6 +34,16 @@ const (
 	KindPreempt  Kind = "preempt"
 	KindReserve  Kind = "reserve"
 	KindDead     Kind = "station-dead"
+
+	// Graded station-health transitions. Detail carries the reason
+	// (timeout, slow, byzantine, flap) so operators can tell a slow link
+	// from a lying peer; KindDead's detail does the same for removals.
+	KindSuspect    Kind = "suspect"
+	KindQuarantine Kind = "quarantine"
+	KindReadmit    Kind = "readmit"
+	// KindDegraded marks the coordinator entering or leaving degraded
+	// mode (too much of the pool non-healthy; up-down movement frozen).
+	KindDegraded Kind = "degraded"
 )
 
 // Event is one log entry.

@@ -53,6 +53,47 @@ func (s StationState) String() string {
 	}
 }
 
+// StationHealth is the coordinator's graded confidence in a station:
+// not whether the machine is idle or busy (that is StationState), but
+// whether the coordinator believes what the machine says and is willing
+// to route work through it. Healthy stations participate fully; suspect
+// stations keep their running jobs but receive no new grants;
+// quarantined stations are contacted only by backoff-spaced probes until
+// they earn readmission; dead stations are unregistered.
+type StationHealth int
+
+// Station health states.
+const (
+	// HealthHealthy: polls answer promptly and plausibly.
+	HealthHealthy StationHealth = iota + 1
+	// HealthSuspect: elevated suspicion (missed or slow polls). No new
+	// grants, but running jobs continue and polling stays per-cycle.
+	HealthSuspect
+	// HealthQuarantined: high suspicion, flapping, or a byzantine reply.
+	// Excluded from allocation entirely; probed with jittered exponential
+	// backoff until enough consecutive probes succeed.
+	HealthQuarantined
+	// HealthDead: the station exhausted its failure budget and was
+	// unregistered.
+	HealthDead
+)
+
+// String returns a short health-state name.
+func (h StationHealth) String() string {
+	switch h {
+	case HealthHealthy:
+		return "healthy"
+	case HealthSuspect:
+		return "suspect"
+	case HealthQuarantined:
+		return "quarantined"
+	case HealthDead:
+		return "dead"
+	default:
+		return fmt.Sprintf("health(%d)", int(h))
+	}
+}
+
 // JobState is a background job's lifecycle state in its home queue.
 type JobState int
 
@@ -153,6 +194,17 @@ type StationInfo struct {
 	ReservedFor string `json:"reservedFor,omitempty"`
 	// ReservedUntil is the reservation expiry.
 	ReservedUntil time.Time `json:"reservedUntil,omitempty"`
+	// Health is the coordinator's graded confidence in the station
+	// (zero from coordinators predating graded health).
+	Health StationHealth `json:"health,omitempty"`
+	// HealthSince is when the station entered its current health state.
+	HealthSince time.Time `json:"healthSince,omitempty"`
+	// HealthReason explains a non-healthy state: timeout, slow,
+	// byzantine, or flap (with detail).
+	HealthReason string `json:"healthReason,omitempty"`
+	// Suspicion is the station's current phi-accrual-style suspicion
+	// score in [0,1]; the suspect/quarantine thresholds cut it.
+	Suspicion float64 `json:"suspicion,omitempty"`
 }
 
 // --- client ↔ station ------------------------------------------------
@@ -401,6 +453,16 @@ type CoordinatorInfo struct {
 	Persistent bool
 	// Journal is the durable-state journal activity.
 	Journal JournalStats
+	// Degraded reports that more than the configured fraction of the
+	// pool is non-healthy, so up-down index movement is frozen (users are
+	// not charged or credited for infrastructure failure).
+	Degraded bool
+	// Suspects, Quarantines, Readmissions, and ByzantineReplies count
+	// health-state activity this incarnation.
+	Suspects         uint64
+	Quarantines      uint64
+	Readmissions     uint64
+	ByzantineReplies uint64
 }
 
 // PoolStatusReply is the pool table.

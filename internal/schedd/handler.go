@@ -153,7 +153,10 @@ func (st *Station) LastPolled() time.Time {
 // and re-registers whenever the coordinator has not polled for three
 // intervals — so a restarted coordinator (§2.1: "its recovery at another
 // site is simplified") rediscovers the pool without manual action.
-// Returns a stop function.
+// While the coordinator stays silent, re-registration backs off
+// exponentially with jitter (up to 16× the interval), so a pool of
+// stations does not hammer a restarting coordinator in lockstep; the
+// first poll that arrives resets the cadence. Returns a stop function.
 func (st *Station) StartRegistrar(coordAddr string, interval time.Duration) (stop func(), err error) {
 	if interval <= 0 {
 		interval = 2 * time.Minute
@@ -168,17 +171,25 @@ func (st *Station) StartRegistrar(coordAddr string, interval time.Duration) (sto
 	doneCh := make(chan struct{})
 	go func() {
 		defer close(doneCh)
-		ticker := time.NewTicker(interval)
-		defer ticker.Stop()
+		policy := wire.Retry{BaseDelay: interval, MaxDelay: 16 * interval, Jitter: 0.25}
+		attempts := 0
+		timer := time.NewTimer(interval)
+		defer timer.Stop()
 		for {
 			select {
 			case <-stopCh:
 				return
-			case <-ticker.C:
+			case <-timer.C:
+				wait := interval
 				if time.Since(st.LastPolled()) > 3*interval {
 					// Best effort; the coordinator may still be down.
 					_ = st.Register(coordAddr)
+					attempts++
+					wait = policy.Backoff(attempts)
+				} else {
+					attempts = 0
 				}
+				timer.Reset(wait)
 			}
 		}
 	}()
@@ -195,7 +206,11 @@ func (st *Station) StartRegistrar(coordAddr string, interval time.Duration) (sto
 func (st *Station) Register(coordAddr string) error {
 	ctx, cancel := context.WithTimeout(context.Background(), st.cfg.DialTimeout+5*time.Second)
 	defer cancel()
-	reply, err := st.pool.CallRetry(ctx, coordAddr, proto.RegisterRequest{Name: st.cfg.Name, Addr: st.Addr()})
+	addr := st.cfg.AdvertiseAddr
+	if addr == "" {
+		addr = st.Addr()
+	}
+	reply, err := st.pool.CallRetry(ctx, coordAddr, proto.RegisterRequest{Name: st.cfg.Name, Addr: addr})
 	if err != nil {
 		return fmt.Errorf("schedd: register %s with %s: %w", st.cfg.Name, coordAddr, err)
 	}

@@ -49,6 +49,11 @@ type Config struct {
 	Name string
 	// ListenAddr is the bind address (default "127.0.0.1:0").
 	ListenAddr string
+	// AdvertiseAddr, when set, is the address the station registers with
+	// the coordinator instead of its listen address — for deployments
+	// (and chaos harnesses) where inbound traffic arrives through a
+	// proxy or NAT rather than directly at the listener.
+	AdvertiseAddr string
 	// Monitor reports the owner's activity; required.
 	Monitor machine.Monitor
 	// Store is the checkpoint store (default: unlimited in-memory with

@@ -167,3 +167,92 @@ func TestPeerCallAgainstStalledConnFailsFast(t *testing.T) {
 		t.Fatal("Call over a stalled connection hung past the write deadline")
 	}
 }
+
+func TestFaultLatencyDelaysWrites(t *testing.T) {
+	conn, fc, remote := pipeConns(t)
+	go io.Copy(io.Discard, remote) //nolint:errcheck // drain
+	fc.SetPlan(FaultPlan{LatencyMin: 40 * time.Millisecond, LatencyMax: 60 * time.Millisecond, Seed: 7})
+	start := time.Now()
+	if err := conn.Send(Envelope{ID: 1, Kind: KindPing, Msg: pingMsg{Seq: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	// A frame is several Write calls (length prefix + payload); each pays
+	// the latency, so the floor is at least one LatencyMin.
+	if elapsed := time.Since(start); elapsed < 40*time.Millisecond {
+		t.Fatalf("Send took %v, want ≥ 40ms of injected latency", elapsed)
+	}
+}
+
+func TestFaultCorruptionFailsLoudly(t *testing.T) {
+	// A corrupted frame must surface as an error on some call — never as
+	// a silently delivered wrong payload.
+	local, remote := net.Pipe()
+	fc := NewFaultConn(local)
+	sender := NewConn(fc)
+	receiver := NewConn(remote)
+	defer sender.Close()
+	defer receiver.Close()
+	sender.SetFrameTimeouts(200*time.Millisecond, 0)
+	receiver.SetFrameTimeouts(0, 500*time.Millisecond)
+	fc.SetPlan(FaultPlan{CorruptProb: 1, Seed: 42})
+	go func() {
+		for i := uint64(1); i <= 4; i++ {
+			sender.Send(Envelope{ID: i, Kind: KindPing, Msg: pingMsg{Seq: i}}) //nolint:errcheck
+		}
+	}()
+	for {
+		env, err := receiver.Recv()
+		if err != nil {
+			return // corruption detected: decode failure, bad prefix, or timeout
+		}
+		if env.Kind != KindPing {
+			return // decoded garbage that is visibly not what was sent
+		}
+		// A flip can land in padding and still decode; keep reading —
+		// with CorruptProb 1 and multi-write frames, a detectable flip
+		// arrives quickly.
+	}
+}
+
+func TestFaultFlapScheduleBlackholesAndHeals(t *testing.T) {
+	conn, fc, remote := pipeConns(t)
+	go io.Copy(io.Discard, remote) //nolint:errcheck // drain
+	conn.SetFrameTimeouts(30*time.Millisecond, 0)
+	// Down first is impossible (phase starts up), so use a short up
+	// phase: writes land in the up window or fail in the down window,
+	// and after a full period they must succeed again.
+	fc.SetPlan(FaultPlan{FlapUp: 50 * time.Millisecond, FlapDown: 50 * time.Millisecond})
+	if err := conn.Send(Envelope{ID: 1, Kind: KindPing, Msg: pingMsg{Seq: 1}}); err != nil {
+		t.Fatalf("send during up phase: %v", err)
+	}
+	time.Sleep(60 * time.Millisecond) // into the down phase
+	if err := conn.Send(Envelope{ID: 2, Kind: KindPing, Msg: pingMsg{Seq: 2}}); err == nil {
+		t.Fatal("send during down phase succeeded")
+	}
+}
+
+func TestFaultSetPlanWakesStalledOperation(t *testing.T) {
+	// A stalled write with no deadline must heal the moment the plan is
+	// cleared — not wait for a deadline that never comes.
+	conn, fc, remote := pipeConns(t)
+	go io.Copy(io.Discard, remote) //nolint:errcheck // drain
+	fc.SetPlan(FaultPlan{StallWrites: true})
+	done := make(chan error, 1)
+	go func() {
+		done <- conn.Send(Envelope{ID: 1, Kind: KindPing, Msg: pingMsg{Seq: 1}})
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("send completed while stalled: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	fc.SetPlan(FaultPlan{}) // heal
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("send after heal: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("stalled send never woke after the plan was cleared")
+	}
+}
