@@ -2,19 +2,20 @@
 
 GO ?= go
 
-.PHONY: all verify build lint vet test race chaos bench bench-baseline bench-drift fuzz sim examples clean
+.PHONY: all verify build lint vet test race chaos conformance bench bench-baseline bench-drift fuzz sim examples clean
 
 # The benchmarks tracked in BENCH_baseline.json: telemetry and
 # accounting hot paths (the per-syscall meter must stay 0 allocs/op),
 # wire round trips, journal appends, coordinator cycles, and tracing.
-BASELINE_BENCH = 'BenchmarkTelemetryObserve$$|BenchmarkTelemetryCounter$$|BenchmarkFrameRoundTrip$$|BenchmarkJournalAppend|BenchmarkCycle100$$|BenchmarkCycle1000$$|BenchmarkTraceSpan$$|BenchmarkTraceSampledOut$$|BenchmarkTraceparentParse$$|BenchmarkAccountingSyscall$$|BenchmarkAccountingSyscallParallel$$|BenchmarkLedgerSnapshot$$|BenchmarkHealthObserve$$'
+BASELINE_BENCH = 'BenchmarkTelemetryObserve$$|BenchmarkTelemetryCounter$$|BenchmarkFrameRoundTrip$$|BenchmarkJournalAppend|BenchmarkCycle100$$|BenchmarkCycle1000$$|BenchmarkPipelineCycle100$$|BenchmarkPipelineCycle1000$$|BenchmarkTraceSpan$$|BenchmarkTraceSampledOut$$|BenchmarkTraceparentParse$$|BenchmarkAccountingSyscall$$|BenchmarkAccountingSyscallParallel$$|BenchmarkLedgerSnapshot$$|BenchmarkHealthObserve$$'
 BASELINE_PKGS = ./internal/telemetry/ ./internal/wire/ ./internal/journal/ ./internal/coordinator/ ./internal/trace/ ./internal/accounting/
 
 all: verify
 
 # Full pre-merge gate: compile, lint, plain tests, the race detector,
-# and the crash-recovery chaos suite.
-verify: build vet test race chaos
+# the crash-recovery chaos suite, and the scheduling-policy conformance
+# suite.
+verify: build vet test race chaos conformance
 
 build:
 	$(GO) build ./...
@@ -44,6 +45,12 @@ race:
 chaos:
 	$(GO) test -race -count=2 -run 'Crash|Chaos|Replay|Torn|Truncat|Recovery|Scenario|Partition|Quarantine|Flap|Byzantine' \
 		./internal/journal/... ./internal/coordinator/... ./internal/schedd/... ./internal/chaos/...
+
+# Scheduling-policy gate: every registered policy must satisfy the
+# shared invariant harness, and the pipelined Up-Down must reproduce
+# the seed algorithm byte-for-byte on the committed golden fixtures.
+conformance:
+	$(GO) test -count=1 -run 'TestConformance|TestGoldenEquivalence' ./internal/policy/
 
 # Regenerate every table and figure of the paper (tee'd outputs land in
 # test_output.txt / bench_output.txt).

@@ -32,6 +32,8 @@ func main() {
 		grants  = flag.Int("grants-per-cycle", 1, "max placements per cycle (§4 pacing)")
 		history = flag.Bool("history-placement", false,
 			"prefer machines with long availability history (§5.1)")
+		policyName = flag.String("policy", "",
+			"scheduling policy (updown, fifo, busiest-first, backfill, deadline; empty = journaled policy or updown)")
 		rpcTimeout = flag.Duration("rpc-timeout", 0,
 			"end-to-end bound on one station RPC (0 = dial timeout + 10s)")
 		stateDir = flag.String("state-dir", "",
@@ -42,12 +44,12 @@ func main() {
 			"serve /metrics, /healthz and /debug/pprof on this address (empty = disabled)")
 	)
 	flag.Parse()
-	if err := run(*listen, *poll, *grants, *history, *rpcTimeout, *stateDir, *snapshotEvery, *httpAddr); err != nil {
+	if err := run(*listen, *poll, *grants, *history, *policyName, *rpcTimeout, *stateDir, *snapshotEvery, *httpAddr); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(listen string, poll time.Duration, grants int, history bool,
+func run(listen string, poll time.Duration, grants int, history bool, policyName string,
 	rpcTimeout time.Duration, stateDir string, snapshotEvery int, httpAddr string) error {
 	cfg := coordinator.Config{
 		ListenAddr:    listen,
@@ -61,6 +63,7 @@ func run(listen string, poll time.Duration, grants int, history bool,
 	if history {
 		cfg.Policy.Placement = policy.PlaceHistory
 	}
+	cfg.Policy.Name = policyName
 	coord, err := coordinator.New(cfg)
 	if err != nil {
 		return err
@@ -81,14 +84,15 @@ func run(listen string, poll time.Duration, grants int, history bool,
 	}
 	if stateDir != "" {
 		s := coord.Stats()
-		fmt.Printf("condor-coordinator listening on %s (poll every %v, state in %s, incarnation %d",
-			coord.Addr(), poll, stateDir, s.Incarnation)
+		fmt.Printf("condor-coordinator listening on %s (poll every %v, policy %s, state in %s, incarnation %d",
+			coord.Addr(), poll, coord.PolicyName(), stateDir, s.Incarnation)
 		if s.JournalReplayed > 0 || s.JournalTruncated > 0 {
 			fmt.Printf(", replayed %d records, truncated %d torn bytes", s.JournalReplayed, s.JournalTruncated)
 		}
 		fmt.Println(")")
 	} else {
-		fmt.Printf("condor-coordinator listening on %s (poll every %v, in-memory)\n", coord.Addr(), poll)
+		fmt.Printf("condor-coordinator listening on %s (poll every %v, policy %s, in-memory)\n",
+			coord.Addr(), poll, coord.PolicyName())
 	}
 
 	sig := make(chan os.Signal, 1)

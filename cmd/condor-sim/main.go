@@ -11,6 +11,7 @@ import (
 	"io"
 	"log"
 	"os"
+	"strings"
 	"time"
 
 	"condor/internal/policy"
@@ -39,13 +40,22 @@ func main() {
 			"what to print: all, table1, fig2..fig9, scalars")
 		ablation = flag.String("ablation", "",
 			"run an ablation: vacate, pacing, updown, history, periodic")
+		policyNames = flag.String("policy", "",
+			"scheduling policy to run (updown, fifo, busiest-first, backfill, deadline); a comma-separated list runs an A/B comparison")
 		seeds   = flag.Int("seeds", 0, "aggregate over this many seeds (prints mean ± std) instead of one run")
 		jsonOut = flag.String("json", "", "also write the full report as JSON to this file")
 		csvOut  = flag.String("csv", "", "also write hourly+by-demand CSVs with this path prefix")
 	)
 	flag.Parse()
+	if *policyNames != "" && strings.Contains(*policyNames, ",") {
+		if err := runPolicyAB(baseConfig(*machines, *days, *seed), strings.Split(*policyNames, ",")); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	if *seeds > 1 {
 		cfg := baseConfig(*machines, *days, *seed)
+		cfg.Policy.Name = *policyNames
 		list := make([]int64, *seeds)
 		for i := range list {
 			list[i] = *seed + int64(i)
@@ -53,7 +63,7 @@ func main() {
 		fmt.Print(simulation.RunMany(cfg, list).String())
 		return
 	}
-	if err := run(*machines, *days, *seed, *experiment, *ablation, *jsonOut, *csvOut); err != nil {
+	if err := run(*machines, *days, *seed, *experiment, *ablation, *policyNames, *jsonOut, *csvOut); err != nil {
 		log.Fatal(err)
 	}
 }
@@ -66,8 +76,14 @@ func baseConfig(machines, days int, seed int64) simulation.Config {
 	return cfg
 }
 
-func run(machines, days int, seed int64, experiment, ablation, jsonOut, csvOut string) error {
+func run(machines, days int, seed int64, experiment, ablation, policyName, jsonOut, csvOut string) error {
 	cfg := baseConfig(machines, days, seed)
+	if policyName != "" {
+		if _, err := policy.New(policyName); err != nil {
+			return err
+		}
+		cfg.Policy.Name = policyName
+	}
 	if ablation != "" {
 		return runAblation(cfg, ablation)
 	}
@@ -127,6 +143,28 @@ func printScalars(rep *simulation.Report) {
 	fmt.Printf("checkpoints/job %.2f; vacates %d; preemptions %d\n",
 		rep.MeanCkptsPerJob, rep.Vacates, rep.Preempts)
 	fmt.Printf("peak per-station placement burst: %d per cycle\n", rep.PeakStationBurst)
+}
+
+// runPolicyAB runs the same seeded month once per named policy and
+// prints the §3 scalars side by side — every registered policy gets a
+// free A/B against the paper's workload.
+func runPolicyAB(base simulation.Config, names []string) error {
+	for _, name := range names {
+		name = strings.TrimSpace(name)
+		if _, err := policy.New(name); err != nil {
+			return err
+		}
+		cfg := base
+		cfg.Policy.Name = name
+		if name == "" {
+			name = policy.DefaultPolicy
+		}
+		rep := simulation.Run(cfg)
+		fmt.Printf("=== policy %s ===\n", name)
+		printScalars(rep)
+		fmt.Println()
+	}
+	return nil
 }
 
 func runAblation(base simulation.Config, which string) error {

@@ -113,15 +113,20 @@ func printCoordinator(ci proto.CoordinatorInfo) {
 	if ci.StartedUnixMillis != 0 {
 		uptime = time.Since(time.UnixMilli(ci.StartedUnixMillis)).Round(time.Second).String()
 	}
+	pol := ci.PolicyName
+	if pol == "" {
+		pol = "updown (pre-pipeline)"
+	}
 	if !ci.Persistent {
-		fmt.Printf("coordinator: in-memory, up %s, %d cycles\n", uptime, ci.Cycles)
+		fmt.Printf("coordinator: in-memory, up %s, %d cycles, policy %s\n", uptime, ci.Cycles, pol)
 		printAllocation(ci)
 		printHealth(ci)
 		fmt.Println()
 		return
 	}
 	j := ci.Journal
-	fmt.Printf("coordinator: incarnation %d, up %s, %d cycles\n", ci.Incarnation, uptime, ci.Cycles)
+	fmt.Printf("coordinator: incarnation %d, up %s, %d cycles, policy %s\n",
+		ci.Incarnation, uptime, ci.Cycles, pol)
 	printAllocation(ci)
 	printHealth(ci)
 	fmt.Printf("journal: %d appends, %d snapshots, %d B log", j.Appends, j.Snapshots, j.LogBytes)

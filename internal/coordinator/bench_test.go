@@ -6,7 +6,9 @@ import (
 	"testing"
 	"time"
 
+	"condor/internal/policy"
 	"condor/internal/proto"
+	"condor/internal/updown"
 )
 
 // benchPool starts a coordinator over n registered fake stations spread
@@ -48,3 +50,44 @@ func benchmarkCycleAt(b *testing.B, stations int) {
 
 func BenchmarkCycle100(b *testing.B)  { benchmarkCycleAt(b, 100) }
 func BenchmarkCycle1000(b *testing.B) { benchmarkCycleAt(b, 1000) }
+
+// benchmarkPipelineCycleAt isolates the scheduling pipeline itself —
+// predicates, ranking, placement, preemption — on a synthetic snapshot,
+// with the RPC fabric of the full-cycle benchmarks above factored out.
+// This is the decision path both the live coordinator and the simulator
+// run once per poll cycle; it must stay allocation-lean as policies are
+// added.
+func benchmarkPipelineCycleAt(b *testing.B, stations int) {
+	pol := policy.MustNew(policy.DefaultPolicy)
+	tab := updown.NewTable(updown.DefaultConfig())
+	views := make([]policy.StationView, 0, stations)
+	for i := 0; i < stations; i++ {
+		v := policy.StationView{Name: fmt.Sprintf("ws%04d", i), DiskFree: 1 << 30}
+		switch i % 4 {
+		case 0:
+			v.State = proto.StationIdle
+		case 1:
+			v.State = proto.StationOwner
+		case 2:
+			v.State = proto.StationClaimed
+			v.ForeignOwner = fmt.Sprintf("ws%04d", (i+1)%stations)
+			v.ForeignJob = v.ForeignOwner + "/1"
+			v.WaitingJobs = 2
+		case 3:
+			v.State = proto.StationIdle
+			v.WaitingJobs = 1
+		}
+		tab.Touch(v.Name)
+		views = append(views, v)
+	}
+	cfg := policy.DefaultConfig()
+	cfg.MaxGrantsPerCycle = 4
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pol.Decide(views, tab, cfg)
+	}
+}
+
+func BenchmarkPipelineCycle100(b *testing.B)  { benchmarkPipelineCycleAt(b, 100) }
+func BenchmarkPipelineCycle1000(b *testing.B) { benchmarkPipelineCycleAt(b, 1000) }

@@ -232,6 +232,10 @@ type Coordinator struct {
 	pool   *wire.ClientPool
 	table  *updown.Table
 	events *eventlog.Log
+	// pipeline is the active scheduling policy, resolved from
+	// Config.Policy.Name (or the journaled name of the previous
+	// incarnation) at startup and immutable afterwards.
+	pipeline *policy.Policy
 	// journal is the durable-state log (nil without StateDir).
 	journal *journal.Journal
 	started time.Time
@@ -284,10 +288,14 @@ func New(cfg Config) (*Coordinator, error) {
 	c.lastCycleNanos.Store(time.Now().UnixNano())
 	if cfg.StateDir != "" {
 		// Recover the previous incarnation's state before anything can
-		// observe or mutate it.
+		// observe or mutate it. Policy resolution happens inside
+		// openJournal so the recovered policy name is honoured and the
+		// recovery-compaction snapshot records the active one.
 		if err := c.openJournal(); err != nil {
 			return nil, err
 		}
+	} else if err := c.resolvePolicy(""); err != nil {
+		return nil, err
 	}
 	if !cfg.DialPerRPC {
 		c.pool = wire.NewClientPool(wire.PoolConfig{
@@ -335,6 +343,37 @@ func (c *Coordinator) Ready() error {
 
 // Accounting exposes the coordinator's allocation ledger.
 func (c *Coordinator) Accounting() *accounting.Ledger { return c.led }
+
+// PolicyName reports the active scheduling policy.
+func (c *Coordinator) PolicyName() string { return c.pipeline.Name() }
+
+// resolvePolicy installs the scheduling pipeline. Precedence: an
+// explicitly configured name wins (and must exist — an operator typo
+// should fail startup, not silently schedule differently), then the
+// previous incarnation's journaled name, then the default. A journaled
+// name this binary does not know (downgrade, corruption) degrades to
+// the default and is counted as a journal error rather than refusing
+// to start. When the resolved policy differs from the journaled one,
+// the change is journaled so the next restart keeps it.
+func (c *Coordinator) resolvePolicy(journaled string) error {
+	name := c.cfg.Policy.Name
+	if name == "" {
+		name = journaled
+	}
+	pol, err := policy.New(name)
+	if err != nil {
+		if c.cfg.Policy.Name != "" {
+			return err
+		}
+		c.stats.JournalErrors++
+		pol = policy.MustNew("")
+	}
+	c.pipeline = pol
+	if c.journal != nil && pol.Name() != journaled {
+		c.appendJournalLocked(persistRecord{Kind: recPolicy, Name: pol.Name()})
+	}
+	return nil
+}
 
 // Addr returns the coordinator's listen address.
 func (c *Coordinator) Addr() string { return c.server.Addr() }
@@ -536,6 +575,7 @@ func (c *Coordinator) handlerFor(peer *wire.Peer) wire.Handler {
 					Retries:    stats.Retries,
 				},
 				Coordinator: proto.CoordinatorInfo{
+					PolicyName:        c.pipeline.Name(),
 					Incarnation:       stats.Incarnation,
 					StartedUnixMillis: c.started.UnixMilli(),
 					Cycles:            stats.Cycles,
@@ -729,7 +769,7 @@ func (c *Coordinator) Cycle() {
 	}
 	cycles := c.stats.Cycles
 	sort.Slice(views, func(i, j int) bool { return views[i].Name < views[j].Name })
-	decision := policy.Decide(views, c.table, c.cfg.Policy)
+	decision := c.pipeline.Decide(views, c.table, c.cfg.Policy)
 	addrs := make(map[string]string, len(c.stations))
 	for _, s := range c.stations {
 		addrs[s.name] = s.addr

@@ -30,6 +30,7 @@ const (
 	recCancel     = "cancel"     // reservation released
 	recAcct       = "acct"       // one cycle's absolute allocation totals
 	recHealth     = "health"     // station health-state transition
+	recPolicy     = "policy"     // active scheduling-policy name (in Name)
 )
 
 // persistRecord is one journaled state delta. Index values are absolute
@@ -85,6 +86,10 @@ type persistState struct {
 	// survives a coordinator restart (the station must still pass its
 	// readmission probes under the new incarnation).
 	Health map[string]persistHealth
+	// PolicyName is the active scheduling policy, so a restart without
+	// an explicit -policy keeps scheduling the same way. Empty in old
+	// snapshots, which rebuildState treats as the default policy.
+	PolicyName string
 }
 
 func encodeRecord(rec persistRecord) ([]byte, error) {
@@ -147,6 +152,7 @@ func rebuildState(snapshot []byte, records [][]byte, now time.Time) (persistStat
 			for k, v := range snap.Health {
 				st.Health[k] = v
 			}
+			st.PolicyName = snap.PolicyName
 		} else {
 			skipped++
 		}
@@ -189,6 +195,8 @@ func rebuildState(snapshot []byte, records [][]byte, now time.Time) (persistStat
 				Reason:         rec.Reason,
 				SinceUnixMilli: rec.SinceUnixMilli,
 			}
+		case recPolicy:
+			st.PolicyName = rec.Name
 		default:
 			skipped++
 		}
@@ -242,6 +250,14 @@ func (c *Coordinator) openJournal() error {
 			until:  time.UnixMilli(r.UntilUnixMilli),
 		}
 	}
+	// Resolve the policy before compacting so the snapshot below
+	// records the active name (and an explicit-config mismatch fails
+	// startup before any state is rewritten).
+	if err := c.resolvePolicy(st.PolicyName); err != nil {
+		c.journal.Close()
+		c.journal = nil
+		return err
+	}
 	// Compact immediately: recovery cost stays bounded even across a
 	// crash loop, and the replayed tail is folded into one snapshot.
 	if len(recovered.Records) > 0 || recovered.Snapshot != nil {
@@ -284,6 +300,7 @@ func (c *Coordinator) snapshotJournal() {
 		Reservations: make(map[string]persistReservation, len(c.reservations)),
 		Alloc:        c.led.AllocSnapshot(),
 		Health:       make(map[string]persistHealth, len(c.stations)),
+		PolicyName:   c.pipeline.Name(),
 	}
 	for name, s := range c.stations {
 		st.Stations[name] = s.addr

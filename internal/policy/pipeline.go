@@ -1,0 +1,440 @@
+// The composable scheduling pipeline. One decision cycle flows through
+// four pluggable stages, mirroring the predicates → prioritizers →
+// extenders shape of modern cluster schedulers:
+//
+//	Predicates  filter which machines may serve (idle, disk, health,
+//	            reservation match).
+//	Ranker      orders the requesting stations best-first (Up-Down,
+//	            FIFO, busiest-first, backfill, deadline, ...).
+//	Placer      orders the admitted machines best-first (first-fit,
+//	            availability-history, data-locality stub).
+//	Preemptor   picks victims when demand outlives idle capacity.
+//
+// A Policy is a named composition of the four; the registry
+// (registry.go) maps policy names to factories so the coordinator and
+// simulator select one by configuration. The hard-wired seed algorithm
+// survives as the "updown" policy, and the package-level Decide keeps
+// its exact behaviour — the golden fixtures under testdata/ pin it.
+package policy
+
+import (
+	"sort"
+	"time"
+
+	"condor/internal/proto"
+)
+
+// Pool is the read-only cluster snapshot a pipeline stage sees.
+type Pool struct {
+	Stations []StationView
+	byName   map[string]StationView
+}
+
+func newPool(stations []StationView) *Pool {
+	byName := make(map[string]StationView, len(stations))
+	for _, s := range stations {
+		byName[s.Name] = s
+	}
+	return &Pool{Stations: stations, byName: byName}
+}
+
+// View returns the named station's snapshot.
+func (p *Pool) View(name string) (StationView, bool) {
+	s, ok := p.byName[name]
+	return s, ok
+}
+
+// Predicate decides whether a machine may serve a requester this cycle.
+type Predicate interface {
+	Name() string
+	// Admit is called twice per machine: once with req == "" while the
+	// candidate set is built (admit when the machine could serve at
+	// least one requester) and again with the concrete requester during
+	// placement. Requester-independent predicates ignore req.
+	Admit(m *StationView, req string, cfg *Config) bool
+}
+
+// Ranker orders the requesting stations best-first.
+type Ranker interface {
+	Name() string
+	// Rank orders wanting best-first. wanting arrives in sorted-name
+	// order; implementations must not mutate it.
+	Rank(wanting []string, pool *Pool, prio Prioritizer, cfg *Config) []string
+	// Better reports whether a strictly outranks b — the relation every
+	// preemption is judged by.
+	Better(a, b string, pool *Pool, prio Prioritizer, cfg *Config) bool
+}
+
+// Placer orders the admitted candidate machines best-first.
+type Placer interface {
+	Name() string
+	// Order may sort candidates in place (the slice is the pipeline's
+	// own copy) but must not mutate the views; it returns machine names.
+	Order(candidates []StationView, cfg *Config) []string
+}
+
+// PreemptContext is everything a Preemptor sees after the grant stage.
+type PreemptContext struct {
+	Pool *Pool
+	// Requesters is the ranked requester list; Granted marks those
+	// already served this cycle.
+	Requesters []string
+	Granted    map[string]bool
+	// LeftoverIdle is the admitted machines not granted, still in
+	// placement order.
+	LeftoverIdle []string
+	// Better is the ranker's strict-outranking relation.
+	Better func(a, b string) bool
+	Cfg    *Config
+}
+
+// Preemptor selects victims. Implementations must respect
+// Cfg.MaxPreemptsPerCycle and only evict foreign jobs whose owner the
+// beneficiary strictly outranks under ctx.Better.
+type Preemptor interface {
+	Name() string
+	Preempts(ctx *PreemptContext) []Preempt
+}
+
+// Policy is a named composition of the four pipeline stages.
+type Policy struct {
+	name       string
+	Predicates []Predicate
+	Ranker     Ranker
+	Placer     Placer
+	Preemptor  Preemptor
+	met        *policyMetrics
+}
+
+// Name returns the registry name the policy was built under.
+func (p *Policy) Name() string { return p.name }
+
+func (p *Policy) admit(m *StationView, req string, cfg *Config) bool {
+	for _, pred := range p.Predicates {
+		if !pred.Admit(m, req, cfg) {
+			return false
+		}
+	}
+	return true
+}
+
+// requesterEligible gates which stations may ask for capacity: a
+// station the coordinator grades unhealthy neither receives grants nor
+// triggers preemptions. Zero Health (live coordinator pre-filters, old
+// fixtures, simulator) means no grading — eligible.
+func requesterEligible(s *StationView) bool {
+	return s.Health == 0 || s.Health == proto.HealthHealthy
+}
+
+// Better reports whether a strictly outranks b under this policy's
+// effective ordering — the relation its preemptions are judged by.
+// Exposed for the conformance harness.
+func (p *Policy) Better(a, b string, stations []StationView, prio Prioritizer, cfg Config) bool {
+	cfg.sanitize()
+	return p.Ranker.Better(a, b, newPool(stations), prio, &cfg)
+}
+
+// Decide runs one allocation cycle through the pipeline. It never
+// mutates its inputs. The control flow is exactly the seed algorithm's:
+// rank requesters, grant admitted machines in placement order with
+// per-station pacing (§4), then — only when no unreserved idle capacity
+// remains — let the preemptor evict outranked foreign jobs (§2.4).
+func (p *Policy) Decide(stations []StationView, prio Prioritizer, cfg Config) Decision {
+	start := time.Now()
+	cfg.sanitize()
+	pool := newPool(stations)
+
+	// Requesters, best priority first. Stations keep wanting capacity
+	// for every waiting job, but receive at most one grant per cycle:
+	// placement costs land on the requester's machine (§4), so pacing is
+	// per-station as well as global.
+	var wanting []string
+	for i := range stations {
+		if stations[i].WaitingJobs > 0 && requesterEligible(&stations[i]) {
+			wanting = append(wanting, stations[i].Name)
+		}
+	}
+	sort.Strings(wanting) // deterministic base order before ranking
+	requesters := p.Ranker.Rank(wanting, pool, prio, &cfg)
+	p.met.requesters.Add(uint64(len(requesters)))
+
+	// Candidate machines: every predicate must admit, requester-blind.
+	var candidates []StationView
+	for i := range stations {
+		if p.admit(&stations[i], "", &cfg) {
+			candidates = append(candidates, stations[i])
+		}
+	}
+	p.met.candidates.Add(uint64(len(candidates)))
+	p.met.filtered.Add(uint64(len(stations) - len(candidates)))
+	idle := p.Placer.Order(candidates, &cfg)
+
+	var d Decision
+	granted := make(map[string]bool, len(requesters))
+	waitingLeft := make(map[string]int, len(stations))
+	for _, s := range stations {
+		waitingLeft[s.Name] = s.WaitingJobs
+	}
+	// With bursting allowed, keep cycling through the ranked requesters
+	// until grants or machines run out.
+	for pass := 0; ; pass++ {
+		grantedThisPass := false
+		for _, req := range requesters {
+			if len(d.Grants) >= cfg.MaxGrantsPerCycle || len(idle) == 0 {
+				break
+			}
+			if granted[req] && !cfg.AllowBurstPerStation {
+				continue
+			}
+			if waitingLeft[req] <= 0 {
+				continue
+			}
+			pick := -1
+			for i, exec := range idle {
+				m := pool.byName[exec]
+				if p.admit(&m, req, &cfg) {
+					pick = i
+					break
+				}
+			}
+			if pick < 0 {
+				continue
+			}
+			exec := idle[pick]
+			idle = append(idle[:pick], idle[pick+1:]...)
+			granted[req] = true
+			waitingLeft[req]--
+			grantedThisPass = true
+			d.Grants = append(d.Grants, Grant{Requester: req, Exec: exec})
+		}
+		if !cfg.AllowBurstPerStation || !grantedThisPass ||
+			len(d.Grants) >= cfg.MaxGrantsPerCycle || len(idle) == 0 {
+			break
+		}
+	}
+	d.Preempts = p.Preemptor.Preempts(&PreemptContext{
+		Pool:         pool,
+		Requesters:   requesters,
+		Granted:      granted,
+		LeftoverIdle: idle,
+		Better: func(a, b string) bool {
+			return p.Ranker.Better(a, b, pool, prio, &cfg)
+		},
+		Cfg: &cfg,
+	})
+	p.met.grants.Add(uint64(len(d.Grants)))
+	p.met.preempts.Add(uint64(len(d.Preempts)))
+	p.met.decide.Observe(time.Since(start).Seconds())
+	return d
+}
+
+// ---- Standard predicates -------------------------------------------
+
+// IdlePredicate admits only machines with no owner or foreign activity.
+type IdlePredicate struct{}
+
+func (IdlePredicate) Name() string { return "idle" }
+
+// Admit implements Predicate.
+func (IdlePredicate) Admit(m *StationView, _ string, _ *Config) bool {
+	return m.State == proto.StationIdle
+}
+
+// MinDiskPredicate enforces §4's free-space requirement: a station
+// whose disk cannot hold a checkpoint plus executable is unusable.
+type MinDiskPredicate struct{}
+
+func (MinDiskPredicate) Name() string { return "min-disk" }
+
+// Admit implements Predicate.
+func (MinDiskPredicate) Admit(m *StationView, _ string, cfg *Config) bool {
+	return cfg.MinDiskBytes <= 0 || m.DiskFree >= cfg.MinDiskBytes
+}
+
+// HealthPredicate blocks grants to machines the health grader marked
+// non-healthy. Zero Health means ungraded (eligible) so snapshots from
+// pre-health callers keep their old meaning.
+type HealthPredicate struct{}
+
+func (HealthPredicate) Name() string { return "health" }
+
+// Admit implements Predicate.
+func (HealthPredicate) Admit(m *StationView, _ string, _ *Config) bool {
+	return m.Health == 0 || m.Health == proto.HealthHealthy
+}
+
+// ReservationPredicate enforces §5.3 reservations: a reserved machine
+// serves only its holder. With no concrete requester it admits — a
+// reserved machine is still a candidate for its holder.
+type ReservationPredicate struct{}
+
+func (ReservationPredicate) Name() string { return "reservation" }
+
+// Admit implements Predicate.
+func (ReservationPredicate) Admit(m *StationView, req string, _ *Config) bool {
+	if req == "" {
+		return true
+	}
+	return m.ReservedFor == "" || m.ReservedFor == req
+}
+
+// StandardPredicates is the filter chain every built-in policy uses.
+func StandardPredicates() []Predicate {
+	return []Predicate{IdlePredicate{}, MinDiskPredicate{}, HealthPredicate{}, ReservationPredicate{}}
+}
+
+// ---- Standard placers ----------------------------------------------
+
+// FirstFitPlacer hands out idle machines in stable name order.
+type FirstFitPlacer struct{}
+
+func (FirstFitPlacer) Name() string { return "first-fit" }
+
+// Order implements Placer.
+func (FirstFitPlacer) Order(candidates []StationView, _ *Config) []string {
+	sort.SliceStable(candidates, func(i, j int) bool { return candidates[i].Name < candidates[j].Name })
+	return viewNames(candidates)
+}
+
+// HistoryPlacer prefers machines with long availability history — the
+// §5.1 proposal: stations with long past idle intervals tend to stay
+// idle, so long jobs suffer fewer preemptions there.
+type HistoryPlacer struct{}
+
+func (HistoryPlacer) Name() string { return "history" }
+
+// Order implements Placer.
+func (HistoryPlacer) Order(candidates []StationView, _ *Config) []string {
+	sort.SliceStable(candidates, func(i, j int) bool {
+		if candidates[i].AvgIdleLen != candidates[j].AvgIdleLen {
+			return candidates[i].AvgIdleLen > candidates[j].AvgIdleLen
+		}
+		if candidates[i].IdleStreak != candidates[j].IdleStreak {
+			return candidates[i].IdleStreak > candidates[j].IdleStreak
+		}
+		return candidates[i].Name < candidates[j].Name
+	})
+	return viewNames(candidates)
+}
+
+// DataLocalityPlacer is the ROADMAP item-3 stub: prefer machines that
+// already cache the job's input bytes so remote syscalls stop shipping
+// every read home to the shadow. Until stations report cached datasets
+// it ranks by CachedBytes (today always zero in live snapshots) and
+// falls back to first-fit, so it is safe to select but not yet useful.
+type DataLocalityPlacer struct{}
+
+func (DataLocalityPlacer) Name() string { return "data-locality" }
+
+// Order implements Placer.
+func (DataLocalityPlacer) Order(candidates []StationView, _ *Config) []string {
+	sort.SliceStable(candidates, func(i, j int) bool {
+		if candidates[i].CachedBytes != candidates[j].CachedBytes {
+			return candidates[i].CachedBytes > candidates[j].CachedBytes
+		}
+		return candidates[i].Name < candidates[j].Name
+	})
+	return viewNames(candidates)
+}
+
+// ConfigPlacer dispatches on Config.Placement, preserving the seed
+// behaviour where the placement strategy is part of the cycle config
+// rather than the policy identity.
+type ConfigPlacer struct{}
+
+func (ConfigPlacer) Name() string { return "config" }
+
+// Order implements Placer.
+func (ConfigPlacer) Order(candidates []StationView, cfg *Config) []string {
+	switch cfg.Placement {
+	case PlaceHistory:
+		return HistoryPlacer{}.Order(candidates, cfg)
+	case PlaceDataLocality:
+		return DataLocalityPlacer{}.Order(candidates, cfg)
+	default:
+		return FirstFitPlacer{}.Order(candidates, cfg)
+	}
+}
+
+func viewNames(views []StationView) []string {
+	out := make([]string, len(views))
+	for i := range views {
+		out[i] = views[i].Name
+	}
+	return out
+}
+
+// ---- Standard preemptor --------------------------------------------
+
+// OutrankPreemptor is the paper's §2.4 rule: preempt only when no
+// generally-usable idle capacity remains (machines reserved for someone
+// else are spoken for, §5.3), evicting for each unserved requester the
+// foreign job whose owner has the worst priority among those the
+// requester strictly outranks.
+type OutrankPreemptor struct{}
+
+func (OutrankPreemptor) Name() string { return "outrank" }
+
+// Preempts implements Preemptor.
+func (OutrankPreemptor) Preempts(ctx *PreemptContext) []Preempt {
+	unreservedIdle := 0
+	for _, exec := range ctx.LeftoverIdle {
+		if m, ok := ctx.Pool.View(exec); ok && m.ReservedFor == "" {
+			unreservedIdle++
+		}
+	}
+	if unreservedIdle > 0 || ctx.Cfg.MaxPreemptsPerCycle == 0 {
+		return nil
+	}
+	var out []Preempt
+	for _, req := range ctx.Requesters {
+		if len(out) >= ctx.Cfg.MaxPreemptsPerCycle {
+			break
+		}
+		if ctx.Granted[req] {
+			continue
+		}
+		victim, ok := pickVictimCtx(ctx, req, out)
+		if !ok {
+			break // best requester can preempt nobody; worse ones cannot either
+		}
+		out = append(out, Preempt{
+			Exec:        victim.Name,
+			JobID:       victim.ForeignJob,
+			Victim:      victim.ForeignOwner,
+			Beneficiary: req,
+		})
+	}
+	return out
+}
+
+// pickVictimCtx finds the claimed station whose foreign job's owner has
+// the worst priority among those the requester strictly outranks,
+// skipping stations already being preempted this cycle and the
+// requester's own jobs.
+func pickVictimCtx(ctx *PreemptContext, requester string, already []Preempt) (StationView, bool) {
+	busy := make(map[string]bool, len(already))
+	for _, p := range already {
+		busy[p.Exec] = true
+	}
+	var victim StationView
+	found := false
+	for _, s := range ctx.Pool.Stations {
+		if s.State != proto.StationClaimed || s.ForeignJob == "" || busy[s.Name] {
+			continue
+		}
+		if s.ForeignOwner == requester {
+			continue // never preempt yourself to serve yourself
+		}
+		if !ctx.Better(requester, s.ForeignOwner) {
+			continue
+		}
+		if !found || ctx.Better(victim.ForeignOwner, s.ForeignOwner) {
+			// s's owner is worse than the current victim's owner:
+			// prefer evicting the worst-priority holder.
+			victim = s
+			found = true
+		}
+	}
+	return victim, found
+}

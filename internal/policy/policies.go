@@ -1,0 +1,232 @@
+// The built-in policies. Each is a composition of pipeline stages
+// registered under a name (registry.go); all must pass the shared
+// conformance suite (conformance_test.go). Up-Down is the paper's
+// algorithm and the default; the rest are the alternatives ROADMAP
+// item 2 calls for, spanning the policy space *A Taxonomy of
+// Schedulers* surveys: arrival order (FIFO), queue pressure
+// (busiest-first), short-job promotion (backfill), and time
+// constraints (deadline).
+package policy
+
+import (
+	"sort"
+	"time"
+)
+
+// DefaultBackfillWindow bounds how long a job may run and still jump
+// the queue under the backfill policy when Config.BackfillWindow is
+// unset.
+const DefaultBackfillWindow = 30 * time.Minute
+
+// ---- Rankers --------------------------------------------------------
+
+// PrioRanker ranks by the cycle's injected Prioritizer — the Up-Down
+// table in production. It is the seed algorithm's ranking stage.
+type PrioRanker struct{}
+
+func (PrioRanker) Name() string { return "prio" }
+
+// Rank implements Ranker.
+func (PrioRanker) Rank(wanting []string, _ *Pool, prio Prioritizer, _ *Config) []string {
+	return prio.Rank(wanting)
+}
+
+// Better implements Ranker.
+func (PrioRanker) Better(a, b string, _ *Pool, prio Prioritizer, _ *Config) bool {
+	return prio.Better(a, b)
+}
+
+// FIFORanker ranks by first-seen order using its own bounded arrival
+// table, ignoring the injected Prioritizer. It exists for the A3
+// ablation (Up-Down vs FIFO) and is the one stateful ranker, so each
+// fifo Policy instance gets a fresh one.
+type FIFORanker struct {
+	F *FIFOPrioritizer
+}
+
+func (*FIFORanker) Name() string { return "fifo" }
+
+// Touch pre-registers a station, pinning its FIFO position — callers
+// that know the arrival order (the simulator) use it to make runs
+// reproducible.
+func (f *FIFORanker) Touch(name string) { f.F.Touch(name) }
+
+// Rank implements Ranker.
+func (f *FIFORanker) Rank(wanting []string, _ *Pool, _ Prioritizer, _ *Config) []string {
+	return f.F.Rank(wanting)
+}
+
+// Better implements Ranker.
+func (f *FIFORanker) Better(a, b string, _ *Pool, _ Prioritizer, _ *Config) bool {
+	return f.F.Better(a, b)
+}
+
+// BusiestRanker serves the deepest queue first — pure pressure relief
+// with no fairness memory; ties fall back to the injected Prioritizer
+// so the order stays total and deterministic.
+type BusiestRanker struct{}
+
+func (BusiestRanker) Name() string { return "busiest-first" }
+
+// Rank implements Ranker.
+func (BusiestRanker) Rank(wanting []string, pool *Pool, prio Prioritizer, _ *Config) []string {
+	out := append([]string(nil), wanting...)
+	sort.SliceStable(out, func(i, j int) bool {
+		wi := pool.byName[out[i]].WaitingJobs
+		wj := pool.byName[out[j]].WaitingJobs
+		if wi != wj {
+			return wi > wj
+		}
+		return prio.Better(out[i], out[j])
+	})
+	return out
+}
+
+// Better implements Ranker.
+func (BusiestRanker) Better(a, b string, pool *Pool, prio Prioritizer, _ *Config) bool {
+	wa := pool.byName[a].WaitingJobs
+	wb := pool.byName[b].WaitingJobs
+	if wa != wb {
+		return wa > wb
+	}
+	return prio.Better(a, b)
+}
+
+// BackfillRanker keeps the base priority order but, behind the head of
+// the queue, promotes stations whose shortest waiting job fits in the
+// backfill window. They cannot delay the head: per-station pacing (§4)
+// caps the head at one grant per cycle regardless, so letting short
+// work jump the rest of the line raises utilization without starving
+// anyone. Preemption rights (Better) stay the base priority — jumping
+// the grant queue must not buy eviction power.
+type BackfillRanker struct{}
+
+func (BackfillRanker) Name() string { return "backfill" }
+
+// Rank implements Ranker.
+func (BackfillRanker) Rank(wanting []string, pool *Pool, prio Prioritizer, cfg *Config) []string {
+	ranked := prio.Rank(wanting)
+	if len(ranked) <= 2 {
+		return ranked
+	}
+	win := cfg.BackfillWindow
+	if win <= 0 {
+		win = DefaultBackfillWindow
+	}
+	out := make([]string, 0, len(ranked))
+	out = append(out, ranked[0])
+	long := make([]string, 0, len(ranked)-1)
+	for _, name := range ranked[1:] {
+		if sj := pool.byName[name].ShortestJob; sj > 0 && sj <= win {
+			out = append(out, name)
+		} else {
+			long = append(long, name)
+		}
+	}
+	return append(out, long...)
+}
+
+// Better implements Ranker.
+func (BackfillRanker) Better(a, b string, _ *Pool, prio Prioritizer, _ *Config) bool {
+	return prio.Better(a, b)
+}
+
+// DeadlineRanker is earliest-deadline-first: stations advertising a
+// deadline outrank those with none, earlier deadlines win, and ties
+// (or no deadlines at all) fall back to the injected Prioritizer, so
+// a pool with no deadlines behaves exactly like Up-Down.
+type DeadlineRanker struct{}
+
+func (DeadlineRanker) Name() string { return "deadline" }
+
+func deadlineLess(pool *Pool, prio Prioritizer, a, b string) bool {
+	da := pool.byName[a].EarliestDeadline
+	db := pool.byName[b].EarliestDeadline
+	switch {
+	case !da.IsZero() && db.IsZero():
+		return true
+	case da.IsZero() && !db.IsZero():
+		return false
+	case !da.IsZero() && !da.Equal(db):
+		return da.Before(db)
+	}
+	return prio.Better(a, b)
+}
+
+// Rank implements Ranker.
+func (DeadlineRanker) Rank(wanting []string, pool *Pool, prio Prioritizer, _ *Config) []string {
+	out := append([]string(nil), wanting...)
+	sort.SliceStable(out, func(i, j int) bool { return deadlineLess(pool, prio, out[i], out[j]) })
+	return out
+}
+
+// Better implements Ranker.
+func (DeadlineRanker) Better(a, b string, pool *Pool, prio Prioritizer, _ *Config) bool {
+	return deadlineLess(pool, prio, a, b)
+}
+
+// ---- Policy factories ----------------------------------------------
+
+// NewUpDown composes the paper's §2.4 algorithm: rank by the injected
+// Up-Down table, place per the configured strategy, preempt the worst
+// outranked holder. It is decision-identical to the pre-pipeline
+// Decide — the golden fixtures prove it.
+func NewUpDown() *Policy {
+	return &Policy{
+		name:       "updown",
+		Predicates: StandardPredicates(),
+		Ranker:     PrioRanker{},
+		Placer:     ConfigPlacer{},
+		Preemptor:  OutrankPreemptor{},
+		met:        newPolicyMetrics("updown"),
+	}
+}
+
+// NewFIFO composes the A3 ablation: arrival order instead of consumption
+// history.
+func NewFIFO() *Policy {
+	return &Policy{
+		name:       "fifo",
+		Predicates: StandardPredicates(),
+		Ranker:     &FIFORanker{F: NewFIFOPrioritizer()},
+		Placer:     ConfigPlacer{},
+		Preemptor:  OutrankPreemptor{},
+		met:        newPolicyMetrics("fifo"),
+	}
+}
+
+// NewBusiestFirst composes the queue-pressure policy.
+func NewBusiestFirst() *Policy {
+	return &Policy{
+		name:       "busiest-first",
+		Predicates: StandardPredicates(),
+		Ranker:     BusiestRanker{},
+		Placer:     ConfigPlacer{},
+		Preemptor:  OutrankPreemptor{},
+		met:        newPolicyMetrics("busiest-first"),
+	}
+}
+
+// NewBackfill composes the short-jobs-jump-the-queue policy.
+func NewBackfill() *Policy {
+	return &Policy{
+		name:       "backfill",
+		Predicates: StandardPredicates(),
+		Ranker:     BackfillRanker{},
+		Placer:     ConfigPlacer{},
+		Preemptor:  OutrankPreemptor{},
+		met:        newPolicyMetrics("backfill"),
+	}
+}
+
+// NewDeadline composes earliest-deadline-first.
+func NewDeadline() *Policy {
+	return &Policy{
+		name:       "deadline",
+		Predicates: StandardPredicates(),
+		Ranker:     DeadlineRanker{},
+		Placer:     ConfigPlacer{},
+		Preemptor:  OutrankPreemptor{},
+		met:        newPolicyMetrics("deadline"),
+	}
+}

@@ -1,6 +1,6 @@
 // Package policy holds Condor's capacity-allocation logic as pure
 // functions over snapshots of pool state. Both the real coordinator
-// daemon and the month-scale simulator call Decide, so the experiments
+// daemon and the month-scale simulator call into it, so the experiments
 // measure exactly the code that runs in production — only the substrate
 // differs.
 //
@@ -15,6 +15,12 @@
 //  3. If demand remains and no idle machine exists, preempts the foreign
 //     job of the lowest-priority holder that the best unserved requester
 //     strictly outranks (§2.4).
+//
+// Since the pipeline refactor the cycle is composed from pluggable
+// stages (see pipeline.go) selected by name from a registry
+// (registry.go); the package-level Decide remains the paper's Up-Down
+// policy and is pinned byte-for-byte by the golden fixtures under
+// testdata/.
 package policy
 
 import (
@@ -45,6 +51,22 @@ type StationView struct {
 	// ReservedFor, when non-empty, restricts grants of this machine to
 	// the named station (§5.3 reservations).
 	ReservedFor string
+	// Health is the coordinator's graded health for the station. Zero
+	// means ungraded (snapshots from callers without a health machine),
+	// which every stage treats as eligible.
+	Health proto.StationHealth
+	// ShortestJob is the remaining length of the shortest waiting job,
+	// if known. The backfill policy promotes stations whose shortest
+	// job fits inside the backfill window; zero means unknown.
+	ShortestJob time.Duration
+	// EarliestDeadline is the soonest completion deadline among this
+	// station's waiting jobs; zero means none. Used by the deadline
+	// policy.
+	EarliestDeadline time.Time
+	// CachedBytes is how many input bytes of the requester's datasets
+	// this station already holds. Used by the data-locality placement
+	// stub (ROADMAP item 3); always zero until stations report caches.
+	CachedBytes int64
 }
 
 // Prioritizer orders stations for capacity allocation.
@@ -66,10 +88,18 @@ const (
 	// the §5.1 proposal: stations with long past idle intervals tend to
 	// stay idle, so long jobs suffer fewer preemptions there.
 	PlaceHistory
+	// PlaceDataLocality prefers machines already caching the job's
+	// input data (ROADMAP item 3 stub; behaves like first-fit until
+	// stations report cached bytes).
+	PlaceDataLocality
 )
 
 // Config tunes a decision cycle.
 type Config struct {
+	// Name selects the registered policy pipeline ("" = updown). The
+	// coordinator and simulator resolve it through New; Decide itself
+	// ignores it.
+	Name string
 	// MaxGrantsPerCycle caps placements per cycle (default 1, per §4).
 	MaxGrantsPerCycle int
 	// MaxPreemptsPerCycle caps preemptions per cycle (default 1).
@@ -84,6 +114,9 @@ type Config struct {
 	// machine is severely degraded if all jobs are placed at the same
 	// time"). Exists for the A2 ablation.
 	AllowBurstPerStation bool
+	// BackfillWindow bounds the job length that may jump the queue
+	// under the backfill policy (0 = DefaultBackfillWindow).
+	BackfillWindow time.Duration
 }
 
 // DefaultConfig returns the paper's operating point.
@@ -105,6 +138,9 @@ func (c *Config) sanitize() {
 	}
 	if c.Placement == 0 {
 		c.Placement = PlaceFirstFit
+	}
+	if c.BackfillWindow < 0 {
+		c.BackfillWindow = 0
 	}
 }
 
@@ -129,189 +165,54 @@ type Decision struct {
 	Preempts []Preempt
 }
 
-// Decide computes one allocation cycle. It never mutates its inputs.
+// defaultUpDown backs the package-level Decide. All its stages are
+// stateless, so sharing one instance across callers is safe.
+var defaultUpDown = NewUpDown()
+
+// Decide computes one allocation cycle under the default Up-Down
+// pipeline policy. It never mutates its inputs. Kept as the package
+// entry point because both substrates called it before the pipeline
+// existed and the golden fixtures pin its behaviour.
 func Decide(stations []StationView, prio Prioritizer, cfg Config) Decision {
-	cfg.sanitize()
-	byName := make(map[string]StationView, len(stations))
-	for _, s := range stations {
-		byName[s.Name] = s
-	}
-
-	// Requesters, best priority first. Stations keep wanting capacity
-	// for every waiting job, but receive at most one grant per cycle:
-	// placement costs land on the requester's machine (§4), so pacing is
-	// per-station as well as global.
-	var wanting []string
-	for _, s := range stations {
-		if s.WaitingJobs > 0 {
-			wanting = append(wanting, s.Name)
-		}
-	}
-	sort.Strings(wanting) // deterministic base order before ranking
-	requesters := prio.Rank(wanting)
-
-	idle := idleMachines(stations, cfg)
-
-	var d Decision
-	granted := make(map[string]bool, len(requesters))
-	waitingLeft := make(map[string]int, len(stations))
-	for _, s := range stations {
-		waitingLeft[s.Name] = s.WaitingJobs
-	}
-	// With bursting allowed, keep cycling through the ranked requesters
-	// until grants or machines run out.
-	for pass := 0; ; pass++ {
-		grantedThisPass := false
-		for _, req := range requesters {
-			if len(d.Grants) >= cfg.MaxGrantsPerCycle || len(idle) == 0 {
-				break
-			}
-			if granted[req] && !cfg.AllowBurstPerStation {
-				continue
-			}
-			if waitingLeft[req] <= 0 {
-				continue
-			}
-			pick := -1
-			for i, exec := range idle {
-				reserved := byName[exec].ReservedFor
-				if reserved == "" || reserved == req {
-					pick = i
-					break
-				}
-			}
-			if pick < 0 {
-				continue
-			}
-			exec := idle[pick]
-			idle = append(idle[:pick], idle[pick+1:]...)
-			granted[req] = true
-			waitingLeft[req]--
-			grantedThisPass = true
-			d.Grants = append(d.Grants, Grant{Requester: req, Exec: exec})
-		}
-		if !cfg.AllowBurstPerStation || !grantedThisPass ||
-			len(d.Grants) >= cfg.MaxGrantsPerCycle || len(idle) == 0 {
-			break
-		}
-	}
-	// Preemption: only when an unserved requester exists and there is no
-	// generally-usable idle capacity left (machines reserved for someone
-	// else do not count — they are spoken for, §5.3).
-	unreservedIdle := 0
-	for _, exec := range idle {
-		if byName[exec].ReservedFor == "" {
-			unreservedIdle++
-		}
-	}
-	if unreservedIdle > 0 || cfg.MaxPreemptsPerCycle == 0 {
-		return d
-	}
-	for _, req := range requesters {
-		if len(d.Preempts) >= cfg.MaxPreemptsPerCycle {
-			break
-		}
-		if granted[req] {
-			continue
-		}
-		victim, ok := pickVictim(stations, byName, prio, req, d.Preempts)
-		if !ok {
-			break // best requester can preempt nobody; worse ones cannot either
-		}
-		d.Preempts = append(d.Preempts, Preempt{
-			Exec:        victim.Name,
-			JobID:       victim.ForeignJob,
-			Victim:      victim.ForeignOwner,
-			Beneficiary: req,
-		})
-	}
-	return d
-}
-
-// idleMachines returns usable idle stations ordered per the placement
-// strategy.
-func idleMachines(stations []StationView, cfg Config) []string {
-	var idle []StationView
-	for _, s := range stations {
-		if s.State != proto.StationIdle {
-			continue
-		}
-		if cfg.MinDiskBytes > 0 && s.DiskFree < cfg.MinDiskBytes {
-			continue // §4: a full disk makes the station unusable
-		}
-		idle = append(idle, s)
-	}
-	switch cfg.Placement {
-	case PlaceHistory:
-		sort.SliceStable(idle, func(i, j int) bool {
-			if idle[i].AvgIdleLen != idle[j].AvgIdleLen {
-				return idle[i].AvgIdleLen > idle[j].AvgIdleLen
-			}
-			if idle[i].IdleStreak != idle[j].IdleStreak {
-				return idle[i].IdleStreak > idle[j].IdleStreak
-			}
-			return idle[i].Name < idle[j].Name
-		})
-	default: // PlaceFirstFit
-		sort.SliceStable(idle, func(i, j int) bool { return idle[i].Name < idle[j].Name })
-	}
-	out := make([]string, len(idle))
-	for i, s := range idle {
-		out[i] = s.Name
-	}
-	return out
-}
-
-// pickVictim finds the claimed station whose foreign job's owner has the
-// worst priority among those the requester strictly outranks, skipping
-// stations already being preempted this cycle and the requester's own
-// jobs.
-func pickVictim(
-	stations []StationView,
-	byName map[string]StationView,
-	prio Prioritizer,
-	requester string,
-	already []Preempt,
-) (StationView, bool) {
-	busy := make(map[string]bool, len(already))
-	for _, p := range already {
-		busy[p.Exec] = true
-	}
-	var victim StationView
-	found := false
-	for _, s := range stations {
-		if s.State != proto.StationClaimed || s.ForeignJob == "" || busy[s.Name] {
-			continue
-		}
-		if s.ForeignOwner == requester {
-			continue // never preempt yourself to serve yourself
-		}
-		if !prio.Better(requester, s.ForeignOwner) {
-			continue
-		}
-		if !found || prio.Better(victim.ForeignOwner, s.ForeignOwner) {
-			// s's owner is worse than the current victim's owner:
-			// prefer evicting the worst-priority holder.
-			victim = s
-			found = true
-		}
-	}
-	_ = byName
-	return victim, found
+	return defaultUpDown.Decide(stations, prio, cfg)
 }
 
 // FIFOPrioritizer ranks stations by first-seen order, ignoring
 // consumption history. It exists for the A3 ablation (Up-Down vs FIFO).
+// The arrival table is bounded: stations unseen for longest are evicted
+// once the table outgrows max, so a churn of short-lived registrations
+// cannot grow it without limit. A pruned station that reappears
+// re-enters at the back of the order, exactly like a genuinely new
+// registration.
 type FIFOPrioritizer struct {
-	order map[string]int
-	next  int
+	order    map[string]int
+	lastSeen map[string]uint64
+	gen      uint64
+	next     int
+	max      int
 }
 
 var _ Prioritizer = (*FIFOPrioritizer)(nil)
 
-// NewFIFOPrioritizer returns an empty FIFO prioritizer.
+// DefaultFIFOMaxEntries bounds the arrival table of NewFIFOPrioritizer
+// — far above any paper-scale pool, small enough that a month of
+// registration churn stays flat.
+const DefaultFIFOMaxEntries = 4096
+
+// NewFIFOPrioritizer returns an empty FIFO prioritizer bounded at
+// DefaultFIFOMaxEntries.
 func NewFIFOPrioritizer() *FIFOPrioritizer {
-	return &FIFOPrioritizer{order: make(map[string]int)}
+	return NewFIFOPrioritizerSized(DefaultFIFOMaxEntries)
+}
+
+// NewFIFOPrioritizerSized bounds the arrival table at max entries;
+// max <= 0 means unbounded (the pre-bounding behaviour).
+func NewFIFOPrioritizerSized(max int) *FIFOPrioritizer {
+	return &FIFOPrioritizer{
+		order:    make(map[string]int),
+		lastSeen: make(map[string]uint64),
+		max:      max,
+	}
 }
 
 // Touch registers a station, establishing its FIFO position.
@@ -320,14 +221,26 @@ func (f *FIFOPrioritizer) Touch(name string) {
 		f.order[name] = f.next
 		f.next++
 	}
+	f.lastSeen[name] = f.gen
 }
+
+// Forget drops a station from the arrival table (deregistration).
+func (f *FIFOPrioritizer) Forget(name string) {
+	delete(f.order, name)
+	delete(f.lastSeen, name)
+}
+
+// Len reports how many stations the arrival table currently tracks.
+func (f *FIFOPrioritizer) Len() int { return len(f.order) }
 
 // Rank implements Prioritizer.
 func (f *FIFOPrioritizer) Rank(names []string) []string {
+	f.gen++
 	out := append([]string(nil), names...)
 	for _, n := range out {
 		f.Touch(n)
 	}
+	f.prune()
 	sort.SliceStable(out, func(i, j int) bool { return f.order[out[i]] < f.order[out[j]] })
 	return out
 }
@@ -337,4 +250,38 @@ func (f *FIFOPrioritizer) Better(a, b string) bool {
 	f.Touch(a)
 	f.Touch(b)
 	return f.order[a] < f.order[b]
+}
+
+// prune evicts the longest-unseen stations once the table outgrows its
+// bound. Names seen in the current generation are never evicted, and
+// eviction order is deterministic: oldest lastSeen first, FIFO position
+// as the tie-break.
+func (f *FIFOPrioritizer) prune() {
+	if f.max <= 0 || len(f.order) <= f.max {
+		return
+	}
+	type entry struct {
+		name string
+		seen uint64
+		pos  int
+	}
+	evictable := make([]entry, 0, len(f.order))
+	for name, pos := range f.order {
+		if seen := f.lastSeen[name]; seen < f.gen {
+			evictable = append(evictable, entry{name, seen, pos})
+		}
+	}
+	sort.Slice(evictable, func(i, j int) bool {
+		if evictable[i].seen != evictable[j].seen {
+			return evictable[i].seen < evictable[j].seen
+		}
+		return evictable[i].pos < evictable[j].pos
+	})
+	for _, e := range evictable {
+		if len(f.order) <= f.max {
+			return
+		}
+		delete(f.order, e.name)
+		delete(f.lastSeen, e.name)
+	}
 }

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"condor/internal/proto"
 	"condor/internal/updown"
@@ -40,6 +41,21 @@ func randomPool(r *rand.Rand) ([]StationView, *updown.Table) {
 		if r.Intn(4) == 0 {
 			v.ReservedFor = names[r.Intn(n)]
 		}
+		// Pipeline-stage inputs: disk pressure, graded health, queue
+		// shape for backfill, deadlines for EDF, cached bytes for the
+		// data-locality stub. Zero values stay common so the seed paths
+		// keep getting exercised too.
+		v.DiskFree = int64(r.Intn(4)) * 512
+		v.Health = proto.StationHealth(r.Intn(5)) // 0 = ungraded
+		if v.WaitingJobs > 0 {
+			v.ShortestJob = time.Duration(r.Intn(5)) * 20 * time.Minute
+			if r.Intn(3) == 0 {
+				v.EarliestDeadline = time.Unix(int64(566000000+r.Intn(100000)*60), 0)
+			}
+		}
+		v.IdleStreak = time.Duration(r.Intn(120)) * time.Minute
+		v.AvgIdleLen = time.Duration(r.Intn(600)) * time.Minute
+		v.CachedBytes = int64(r.Intn(3)) * 1 << 20
 		// Random index history.
 		tab.Update(v.Name, r.Intn(4), r.Intn(2) == 0)
 		views = append(views, v)

@@ -1,0 +1,79 @@
+package policy
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// DefaultPolicy is the registry name resolved when no policy is
+// configured: the paper's Up-Down algorithm.
+const DefaultPolicy = "updown"
+
+// Factory builds a fresh Policy instance. Policies with per-instance
+// state (FIFO's arrival table) must not share it across factories.
+type Factory func() *Policy
+
+var (
+	regMu    sync.RWMutex
+	registry = make(map[string]Factory)
+)
+
+// Register adds a named policy factory. It panics on empty or duplicate
+// names — registration happens in init functions, where a collision is
+// a programming error.
+func Register(name string, f Factory) {
+	if name == "" || f == nil {
+		panic("policy: Register with empty name or nil factory")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic("policy: duplicate Register of " + name)
+	}
+	registry[name] = f
+}
+
+// Names lists the registered policies, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// New builds the named policy. The empty name resolves to
+// DefaultPolicy; unknown names are an error listing the alternatives.
+func New(name string) (*Policy, error) {
+	if name == "" {
+		name = DefaultPolicy
+	}
+	regMu.RLock()
+	f, ok := registry[name]
+	regMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("policy: unknown policy %q (registered: %v)", name, Names())
+	}
+	return f(), nil
+}
+
+// MustNew is New for callers whose name is statically known.
+func MustNew(name string) *Policy {
+	p, err := New(name)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func init() {
+	Register("updown", NewUpDown)
+	Register("fifo", NewFIFO)
+	Register("busiest-first", NewBusiestFirst)
+	Register("backfill", NewBackfill)
+	Register("deadline", NewDeadline)
+}

@@ -434,6 +434,9 @@ type JournalStats struct {
 // lineage and recovery state, so operators can see at a glance that a
 // crash happened and what was restored.
 type CoordinatorInfo struct {
+	// PolicyName is the active scheduling policy (registry name, e.g.
+	// "updown"). Empty when talking to a pre-pipeline coordinator.
+	PolicyName string
 	// Incarnation is how many times this coordinator's state directory
 	// has been opened (0 = running without durable state).
 	Incarnation uint64

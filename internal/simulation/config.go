@@ -58,10 +58,13 @@ type Config struct {
 	PeriodicCheckpoint time.Duration
 
 	// Policy configures allocation; zero value = policy.DefaultConfig().
+	// Policy.Name selects the registered scheduling pipeline ("" =
+	// updown), so any policy in the registry gets a month-scale A/B run.
 	Policy policy.Config
 	// UpDown configures fairness; zero value = updown defaults.
 	UpDown updown.Config
 	// FIFO replaces Up-Down with FIFO priority (A3 ablation).
+	// Shorthand for Policy.Name = "fifo".
 	FIFO bool
 
 	// Cost is the §3.1 cost model; zero value = cost.Paper().
@@ -124,7 +127,12 @@ func (c *Config) sanitize() {
 		c.Vacate = VacateSuspendFirst
 	}
 	if c.Policy.MaxGrantsPerCycle == 0 {
+		name := c.Policy.Name
 		c.Policy = policy.DefaultConfig()
+		c.Policy.Name = name
+	}
+	if c.FIFO && c.Policy.Name == "" {
+		c.Policy.Name = "fifo"
 	}
 	if c.UpDown.UpRate == 0 {
 		c.UpDown = updown.DefaultConfig()

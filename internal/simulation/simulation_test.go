@@ -279,6 +279,60 @@ func TestDeterministicAcrossRuns(t *testing.T) {
 	}
 }
 
+// TestPolicyABRegression pins the paper-shaped orderings across the
+// registered policies on the same deterministic month-scale seed, so a
+// future edit to any pipeline stage cannot silently regress the
+// reproduction: every policy still completes the whole workload with
+// utilization inside the committed Figure 5 envelope, Up-Down's
+// leverage stays finite (order 10^3, Figure 9), and Up-Down remains
+// fairer to light users than FIFO.
+func TestPolicyABRegression(t *testing.T) {
+	updownRep := month(t) // DefaultConfig = the updown policy
+	runPolicy := func(name string) *Report {
+		cfg := DefaultConfig()
+		cfg.Policy.Name = name
+		return Run(cfg)
+	}
+	fifoRep := runPolicy("fifo")
+	busiestRep := runPolicy("busiest-first")
+
+	for _, pr := range []struct {
+		name string
+		rep  *Report
+	}{{"updown", updownRep}, {"fifo", fifoRep}, {"busiest-first", busiestRep}} {
+		if pr.rep.CompletedJobs != pr.rep.TotalJobs {
+			t.Errorf("%s: completed %d of %d jobs — the completion guarantee broke",
+				pr.name, pr.rep.CompletedJobs, pr.rep.TotalJobs)
+		}
+		// Availability is workload- and fleet-driven, not policy-driven;
+		// any policy drifting it means the substrate changed.
+		availFrac := pr.rep.AvailableHours / pr.rep.TotalMachineHours
+		if availFrac < 0.68 || availFrac > 0.82 {
+			t.Errorf("%s: available fraction = %.2f, want the Figure 5 band 0.68–0.82",
+				pr.name, availFrac)
+		}
+		// The same jobs complete, so consumed capacity must stay inside
+		// the committed Figure 5 envelope whatever the ordering.
+		if pr.rep.ConsumedHours < 3200 || pr.rep.ConsumedHours > 5500 {
+			t.Errorf("%s: consumed hours = %.0f, want the Figure 5 band 3200–5500",
+				pr.name, pr.rep.ConsumedHours)
+		}
+	}
+	// Up-Down's leverage is finite and paper-sized (Figure 9: order
+	// 10^3) — an unfair or broken ranker shows up here first, as either
+	// ~0 (no remote work) or an explosion (support time collapsed).
+	if updownRep.OverallLeverage < 700 || updownRep.OverallLeverage > 2600 {
+		t.Errorf("updown overall leverage = %.0f, want order 1300 (Figure 9)",
+			updownRep.OverallLeverage)
+	}
+	// Fairness ordering: Up-Down serves light users better than FIFO,
+	// where the heavy user's early arrival owns the grant order (§2.4).
+	if updownRep.MeanWaitRatioLight >= fifoRep.MeanWaitRatioLight {
+		t.Errorf("updown light-user wait ratio %.2f not better than FIFO's %.2f",
+			updownRep.MeanWaitRatioLight, fifoRep.MeanWaitRatioLight)
+	}
+}
+
 func TestFIFOAblationHurtsLightUsers(t *testing.T) {
 	base := shortConfig()
 	fair := Run(base)

@@ -95,7 +95,11 @@ type simulator struct {
 	jobs     []*simJob
 
 	table *updown.Table
-	fifo  *policy.FIFOPrioritizer
+	// pol is the scheduling pipeline under test; fifoRanker is non-nil
+	// when it ranks by arrival order (table updates are skipped so the
+	// run matches the A3 ablation semantics).
+	pol        *policy.Policy
+	fifoRanker *policy.FIFORanker
 
 	rep *Report
 }
@@ -123,8 +127,13 @@ func newSimulator(cfg Config) *simulator {
 		byHome:  make(map[string]*user),
 		byName:  make(map[string]*simMachine),
 		table:   updown.NewTable(cfg.UpDown),
-		fifo:    policy.NewFIFOPrioritizer(),
 	}
+	pol, err := policy.New(cfg.Policy.Name)
+	if err != nil {
+		panic(fmt.Sprintf("simulation: %v", err))
+	}
+	s.pol = pol
+	s.fifoRanker, _ = pol.Ranker.(*policy.FIFORanker)
 	s.rep = newReport(cfg, start, end)
 
 	rng := sim.NewRNG(cfg.Seed)
@@ -144,7 +153,11 @@ func newSimulator(cfg Config) *simulator {
 		s.machines = append(s.machines, m)
 		s.byName[name] = m
 		s.table.Touch(name)
-		s.fifo.Touch(name)
+		if s.fifoRanker != nil {
+			// Pin FIFO arrival order to machine index so runs are
+			// reproducible regardless of which stations want first.
+			s.fifoRanker.Touch(name)
+		}
 	}
 
 	wl := workload.Generate(cfg.Workload, wlRNG)
@@ -504,18 +517,16 @@ func (s *simulator) pollCycle(now time.Time) {
 		}
 		if u, ok := s.byHome[m.name]; ok {
 			v.WaitingJobs = len(u.queue)
+			v.ShortestJob = shortestQueued(u.queue)
 		}
 		views = append(views, v)
 	}
-	var prio policy.Prioritizer = s.table
-	if s.cfg.FIFO {
-		prio = s.fifo
-	} else {
+	if s.fifoRanker == nil {
 		for _, v := range views {
 			s.table.Update(v.Name, v.HeldMachines, v.WaitingJobs > 0)
 		}
 	}
-	decision := policy.Decide(views, prio, s.cfg.Policy)
+	decision := s.pol.Decide(views, s.table, s.cfg.Policy)
 	perStation := make(map[string]int, 4)
 	for _, g := range decision.Grants {
 		u, ok := s.byHome[g.Requester]
@@ -539,6 +550,18 @@ func (s *simulator) pollCycle(now time.Time) {
 			s.vacate(m.foreign, now, "up-down preemption")
 		}
 	}
+}
+
+// shortestQueued is the remaining length of the shortest waiting job,
+// feeding the backfill policy's window test; 0 = empty queue.
+func shortestQueued(queue []*simJob) time.Duration {
+	var min time.Duration
+	for _, j := range queue {
+		if j.remaining > 0 && (min == 0 || j.remaining < min) {
+			min = j.remaining
+		}
+	}
+	return min
 }
 
 // crash takes the machine down: the resident job loses all progress
