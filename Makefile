@@ -2,20 +2,21 @@
 
 GO ?= go
 
-.PHONY: all verify build lint vet test race chaos conformance bench bench-baseline bench-drift fuzz sim examples clean
+.PHONY: all verify build lint vet test race chaos conformance smoke bench bench-baseline bench-drift fuzz sim examples clean
 
 # The benchmarks tracked in BENCH_baseline.json: telemetry and
-# accounting hot paths (the per-syscall meter must stay 0 allocs/op),
-# wire round trips, journal appends, coordinator cycles, and tracing.
-BASELINE_BENCH = 'BenchmarkTelemetryObserve$$|BenchmarkTelemetryCounter$$|BenchmarkFrameRoundTrip$$|BenchmarkJournalAppend|BenchmarkCycle100$$|BenchmarkCycle1000$$|BenchmarkPipelineCycle100$$|BenchmarkPipelineCycle1000$$|BenchmarkTraceSpan$$|BenchmarkTraceSampledOut$$|BenchmarkTraceparentParse$$|BenchmarkAccountingSyscall$$|BenchmarkAccountingSyscallParallel$$|BenchmarkLedgerSnapshot$$|BenchmarkHealthObserve$$'
+# accounting hot paths (the per-syscall meter must stay 0 allocs/op,
+# and so must an event-bus publish with no subscribers), wire round
+# trips, journal appends, coordinator cycles, and tracing.
+BASELINE_BENCH = 'BenchmarkTelemetryObserve$$|BenchmarkTelemetryCounter$$|BenchmarkFrameRoundTrip$$|BenchmarkJournalAppend|BenchmarkCycle100$$|BenchmarkCycle1000$$|BenchmarkPipelineCycle100$$|BenchmarkPipelineCycle1000$$|BenchmarkTraceSpan$$|BenchmarkTraceSampledOut$$|BenchmarkTraceparentParse$$|BenchmarkAccountingSyscall$$|BenchmarkAccountingSyscallParallel$$|BenchmarkLedgerSnapshot$$|BenchmarkHealthObserve$$|BenchmarkBusPublish$$|BenchmarkBusPublishSubscribed$$'
 BASELINE_PKGS = ./internal/telemetry/ ./internal/wire/ ./internal/journal/ ./internal/coordinator/ ./internal/trace/ ./internal/accounting/
 
 all: verify
 
 # Full pre-merge gate: compile, lint, plain tests, the race detector,
-# the crash-recovery chaos suite, and the scheduling-policy conformance
-# suite.
-verify: build vet test race chaos conformance
+# the crash-recovery chaos suite, the scheduling-policy conformance
+# suite, and the headless dashboard smoke.
+verify: build vet test race chaos conformance smoke
 
 build:
 	$(GO) build ./...
@@ -51,6 +52,13 @@ chaos:
 # the seed algorithm byte-for-byte on the committed golden fixtures.
 conformance:
 	$(GO) test -count=1 -run 'TestConformance|TestGoldenEquivalence' ./internal/policy/
+
+# Headless dashboard smoke: boot a live pool plus condor-web in one
+# process and walk the whole surface — embedded page, JSON API, 50
+# concurrent SSE subscribers observing identical event sequences,
+# alerts, /metrics, /healthz — under the race detector.
+smoke:
+	$(GO) test -race -count=1 -run 'TestDashboardSmoke|TestSSEFanout' .
 
 # Regenerate every table and figure of the paper (tee'd outputs land in
 # test_output.txt / bench_output.txt).

@@ -15,13 +15,15 @@ import (
 
 	"condor/internal/metrics"
 	"condor/internal/proto"
-	"condor/internal/wire"
+	"condor/internal/web"
 )
 
 func main() {
 	coordAddr := flag.String("coordinator", "127.0.0.1:9618", "coordinator address")
 	metricsAddr := flag.String("metrics", "",
 		"scrape this daemon's /metrics endpoint (host:port or URL of a -http listener) instead of querying the coordinator")
+	watch := flag.Duration("watch", 0,
+		"re-render every interval (e.g. -watch 2s) over one pooled connection; ctrl-c to stop")
 	flag.Parse()
 	if *metricsAddr != "" {
 		if err := runMetrics(*metricsAddr); err != nil {
@@ -29,26 +31,31 @@ func main() {
 		}
 		return
 	}
-	if err := run(*coordAddr); err != nil {
+	client := web.NewClient(*coordAddr)
+	defer client.Close()
+	if *watch > 0 {
+		// Watch mode: clear and re-render; a transient RPC failure is a
+		// frame, not a fatal error.
+		for {
+			fmt.Print("\033[H\033[2J")
+			if err := run(client); err != nil {
+				fmt.Printf("error: %v\n", err)
+			}
+			fmt.Printf("\nevery %s — ctrl-c to stop\n", *watch)
+			time.Sleep(*watch)
+		}
+	}
+	if err := run(client); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(coordAddr string) error {
-	peer, err := wire.Dial(coordAddr, 5*time.Second, nil)
-	if err != nil {
-		return err
-	}
-	defer peer.Close()
+func run(client *web.Client) error {
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
-	reply, err := peer.Call(ctx, proto.PoolStatusRequest{})
+	sr, err := client.PoolStatus(ctx)
 	if err != nil {
 		return err
-	}
-	sr, ok := reply.(proto.PoolStatusReply)
-	if !ok {
-		return fmt.Errorf("unexpected reply %T", reply)
 	}
 	printCoordinator(sr.Coordinator)
 	rows := make([][]string, 0, len(sr.Stations))
@@ -106,6 +113,19 @@ func healthCell(s proto.StationInfo, now time.Time) string {
 	return cell
 }
 
+// printReady surfaces the coordinator's failing readiness checks — the
+// same "name: reason" lines its /healthz serves in a 503 body — so an
+// unready daemon explains itself without a second scrape.
+func printReady(ci proto.CoordinatorInfo) {
+	if len(ci.ReadyFailures) == 0 {
+		return
+	}
+	fmt.Println("NOT READY:")
+	for _, f := range ci.ReadyFailures {
+		fmt.Printf("  %s\n", f)
+	}
+}
+
 // printCoordinator summarizes the daemon itself: restart lineage,
 // uptime, and journal/recovery health.
 func printCoordinator(ci proto.CoordinatorInfo) {
@@ -119,6 +139,7 @@ func printCoordinator(ci proto.CoordinatorInfo) {
 	}
 	if !ci.Persistent {
 		fmt.Printf("coordinator: in-memory, up %s, %d cycles, policy %s\n", uptime, ci.Cycles, pol)
+		printReady(ci)
 		printAllocation(ci)
 		printHealth(ci)
 		fmt.Println()
@@ -127,6 +148,7 @@ func printCoordinator(ci proto.CoordinatorInfo) {
 	j := ci.Journal
 	fmt.Printf("coordinator: incarnation %d, up %s, %d cycles, policy %s\n",
 		ci.Incarnation, uptime, ci.Cycles, pol)
+	printReady(ci)
 	printAllocation(ci)
 	printHealth(ci)
 	fmt.Printf("journal: %d appends, %d snapshots, %d B log", j.Appends, j.Snapshots, j.LogBytes)

@@ -286,6 +286,16 @@ func New(cfg Config) (*Coordinator, error) {
 	}
 	c.journalHealthy.Store(true)
 	c.lastCycleNanos.Store(time.Now().UnixNano())
+	// Every event the coordinator logs (grants, preempts, health
+	// transitions, registrations, degraded-mode flips) also rides the
+	// process event bus, where the dashboard's SSE fan-out picks it up.
+	// The bus publish is a single atomic load while nobody subscribes.
+	c.events.SetNotify(func(e eventlog.Event) {
+		telemetry.Events.Publish(telemetry.BusEvent{
+			At: e.At, Source: "coordinator", Kind: string(e.Kind),
+			Job: e.Job, Station: e.Station, Detail: e.Detail, TraceID: e.TraceID,
+		})
+	})
 	if cfg.StateDir != "" {
 		// Recover the previous incarnation's state before anything can
 		// observe or mutate it. Policy resolution happens inside
@@ -575,6 +585,7 @@ func (c *Coordinator) handlerFor(peer *wire.Peer) wire.Handler {
 					Retries:    stats.Retries,
 				},
 				Coordinator: proto.CoordinatorInfo{
+					ReadyFailures:     telemetry.ReadinessFailures(),
 					PolicyName:        c.pipeline.Name(),
 					Incarnation:       stats.Incarnation,
 					StartedUnixMillis: c.started.UnixMilli(),
@@ -913,6 +924,18 @@ func (c *Coordinator) Cycle() {
 		}
 	}
 	c.lastCycleNanos.Store(time.Now().UnixNano())
+
+	// One cycle-summary event per allocation cycle: the dashboard's
+	// liveness signal. Built (and allocated) only when someone is
+	// actually listening.
+	if telemetry.Events.Subscribers() > 0 {
+		telemetry.Events.Publish(telemetry.BusEvent{
+			Source: "coordinator", Kind: "cycle",
+			Detail: fmt.Sprintf("cycle %d: %d stations, %d grants, %d preempts, %s",
+				cycles, total, len(decision.Grants), len(decision.Preempts),
+				time.Since(cycleStart).Round(time.Millisecond)),
+		})
+	}
 }
 
 // incarnation returns which start of this coordinator's state directory

@@ -87,10 +87,11 @@ func (e Event) String() string {
 // Log is a fixed-capacity ring of events. The zero value is unusable;
 // call New. Log is safe for concurrent use.
 type Log struct {
-	mu    sync.Mutex
-	buf   []Event
-	next  int
-	total uint64
+	mu     sync.Mutex
+	buf    []Event
+	next   int
+	total  uint64
+	notify func(Event)
 }
 
 // DefaultCapacity is the ring size daemons use.
@@ -105,20 +106,33 @@ func New(capacity int) *Log {
 	return &Log{buf: make([]Event, 0, capacity)}
 }
 
+// SetNotify installs a hook observing every subsequently appended
+// event (after its timestamp is stamped). Daemons use it to forward
+// their event trail onto the telemetry event bus without eventlog
+// importing telemetry. The hook runs outside the log's lock, on the
+// appender's goroutine — it must be fast and must never call back into
+// the log. Set it before the log is shared; replacing it later races
+// with concurrent Appends.
+func (l *Log) SetNotify(fn func(Event)) { l.notify = fn }
+
 // Append records an event, stamping it with the current time if unset.
 func (l *Log) Append(e Event) {
 	if e.At.IsZero() {
 		e.At = time.Now()
 	}
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	l.total++
 	if len(l.buf) < cap(l.buf) {
 		l.buf = append(l.buf, e)
-		return
+	} else {
+		l.buf[l.next] = e
+		l.next = (l.next + 1) % cap(l.buf)
 	}
-	l.buf[l.next] = e
-	l.next = (l.next + 1) % cap(l.buf)
+	notify := l.notify
+	l.mu.Unlock()
+	if notify != nil {
+		notify(e)
+	}
 }
 
 // Recent returns up to n of the most recent events, oldest first. n <= 0

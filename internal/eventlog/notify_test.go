@@ -1,0 +1,45 @@
+package eventlog
+
+import (
+	"testing"
+	"time"
+)
+
+// TestNotifyHook verifies the bus-forwarding hook: every Append after
+// SetNotify is observed exactly once, with the timestamp already
+// stamped, and a hook-free log appends without any side effects.
+func TestNotifyHook(t *testing.T) {
+	l := New(4)
+	l.Append(Event{Kind: KindGrant, Station: "ws0"}) // pre-hook: silent
+
+	var got []Event
+	l.SetNotify(func(e Event) { got = append(got, e) })
+	l.Append(Event{Kind: KindQuarantine, Station: "ws1", Detail: "timeout"})
+	l.Append(Event{Kind: KindReadmit, Station: "ws1"})
+
+	if len(got) != 2 {
+		t.Fatalf("hook observed %d events, want 2", len(got))
+	}
+	if got[0].Kind != KindQuarantine || got[0].Station != "ws1" || got[0].Detail != "timeout" {
+		t.Fatalf("first hooked event = %+v", got[0])
+	}
+	if got[0].At.IsZero() {
+		t.Error("hook must see the stamped timestamp")
+	}
+	if got[1].Kind != KindReadmit {
+		t.Fatalf("second hooked event = %+v", got[1])
+	}
+
+	// A caller-supplied timestamp survives into the hook unchanged.
+	at := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	l.Append(Event{Kind: KindGrant, At: at})
+	if !got[2].At.Equal(at) {
+		t.Errorf("hook saw At=%v, want %v", got[2].At, at)
+	}
+
+	// The ring itself is unaffected by the hook: 4 events total appended,
+	// capacity 4, all retained.
+	if events := l.Recent(0); len(events) != 4 {
+		t.Errorf("ring holds %d events, want 4", len(events))
+	}
+}

@@ -466,6 +466,12 @@ type CoordinatorInfo struct {
 	Quarantines      uint64
 	Readmissions     uint64
 	ByzantineReplies uint64
+	// ReadyFailures lists the daemon's failing readiness checks as
+	// "name: reason" lines — the same detail /healthz serves in its 503
+	// body, so condor-status and the dashboard can show *why* a daemon
+	// is unready. Empty means ready (and from coordinators predating
+	// this field).
+	ReadyFailures []string
 }
 
 // PoolStatusReply is the pool table.

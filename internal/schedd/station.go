@@ -180,6 +180,15 @@ func New(cfg Config) (*Station, error) {
 		stop:     make(chan struct{}),
 		done:     make(chan struct{}),
 	}
+	// The station's job-lifecycle trail (submit, place, vacate,
+	// complete, ...) also rides the process event bus for the
+	// dashboard's SSE fan-out; free while nobody subscribes.
+	st.events.SetNotify(func(e eventlog.Event) {
+		telemetry.Events.Publish(telemetry.BusEvent{
+			At: e.At, Source: "station/" + cfg.Name, Kind: string(e.Kind),
+			Job: e.Job, Station: e.Station, Detail: e.Detail, TraceID: e.TraceID,
+		})
+	})
 	starterCfg := cfg.Starter
 	starterCfg.Name = cfg.Name
 	starterCfg.Monitor = cfg.Monitor

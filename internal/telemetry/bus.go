@@ -1,0 +1,246 @@
+package telemetry
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The event bus is the streaming counterpart of the /metrics page:
+// where metrics answer "how much, how fast", the bus answers "what just
+// happened". Daemons publish discrete occurrences — a grant issued, a
+// station quarantined, a poll cycle completed — and any number of
+// consumers (the condor-web dashboard's SSE fan-out, tests, future
+// federation reporting) subscribe without ever being able to slow a
+// publisher down.
+//
+// Design constraints, in priority order:
+//
+//  1. Publish never blocks and never allocates on the no-subscriber
+//     path: one atomic load decides the common case (nobody watching),
+//     so the coordinator's cycle loop and the schedd's job transitions
+//     can publish unconditionally. BenchmarkBusPublish gates this.
+//  2. A slow consumer loses its own oldest events, nobody else's: each
+//     subscriber owns a fixed-size ring; when it overflows, the oldest
+//     event is overwritten and a per-subscriber drop counter ticks.
+//     Publishers never wait, and one wedged browser tab cannot wedge
+//     the pool.
+//  3. Subscribers see events in publish order with a monotonically
+//     increasing sequence number, so a consumer can detect (and report)
+//     its own gaps.
+
+// BusEvent is one occurrence on the bus. It is a plain value — strings
+// are references, so copying an event into subscriber rings does not
+// allocate.
+type BusEvent struct {
+	// Seq is the bus-assigned publish sequence number (1-based,
+	// monotonic). Gaps in a subscriber's view mean that subscriber
+	// dropped events.
+	Seq uint64 `json:"seq"`
+	// At is when the event was published (stamped if zero).
+	At time.Time `json:"at"`
+	// Source identifies the emitting daemon: "coordinator",
+	// "station/ws0", "web".
+	Source string `json:"source,omitempty"`
+	// Kind classifies the event; eventlog kinds (grant, quarantine,
+	// place, ...) plus bus-only kinds ("cycle", "alert-firing",
+	// "alert-resolved").
+	Kind string `json:"kind"`
+	// Job and Station scope the event, when applicable.
+	Job     string `json:"job,omitempty"`
+	Station string `json:"station,omitempty"`
+	// Detail is the human-readable specifics.
+	Detail string `json:"detail,omitempty"`
+	// TraceID stitches the event to its distributed trace, if any.
+	TraceID string `json:"traceID,omitempty"`
+}
+
+// Bus telemetry: publishes and subscriber-side drops, so an operator
+// can see from /metrics alone that a dashboard is falling behind.
+var (
+	mBusPublished = NewCounter("condor_bus_events_published_total",
+		"Events published onto the telemetry event bus (counted only while at least one subscriber is attached).")
+	mBusDropped = NewCounter("condor_bus_events_dropped_total",
+		"Events dropped ring-side because a subscriber was slower than the publishers.")
+	mBusSubscribers = NewGauge("condor_bus_subscribers",
+		"Subscribers currently attached to the telemetry event bus.")
+)
+
+// Bus is a bounded broadcast channel. The zero value is not usable;
+// call NewBus. Most code uses the package-level Events bus.
+type Bus struct {
+	// nsubs is the subscriber count, read first on every publish so the
+	// no-subscriber path is one atomic load.
+	nsubs atomic.Int32
+	seq   atomic.Uint64
+
+	mu   sync.RWMutex
+	subs []*Subscriber
+}
+
+// NewBus creates an empty bus.
+func NewBus() *Bus { return &Bus{} }
+
+// Events is the process-wide bus every daemon publishes onto; the
+// daemons' -http listeners stream it at /events.
+var Events = NewBus()
+
+// DefaultSubscriberCapacity is the ring size Subscribe uses for cap<=0.
+const DefaultSubscriberCapacity = 256
+
+// Publish broadcasts ev to every subscriber. It never blocks: a full
+// subscriber ring loses its oldest event instead. With no subscribers
+// attached, Publish is a single atomic load and returns immediately
+// without allocating.
+func (b *Bus) Publish(ev BusEvent) {
+	if b.nsubs.Load() == 0 {
+		return
+	}
+	ev.Seq = b.seq.Add(1)
+	if ev.At.IsZero() {
+		ev.At = time.Now()
+	}
+	mBusPublished.Inc()
+	b.mu.RLock()
+	for _, s := range b.subs {
+		s.push(ev)
+	}
+	b.mu.RUnlock()
+}
+
+// Subscribe attaches a new subscriber whose ring holds capacity events
+// (<=0 selects DefaultSubscriberCapacity). The caller must Close it.
+func (b *Bus) Subscribe(capacity int) *Subscriber {
+	if capacity <= 0 {
+		capacity = DefaultSubscriberCapacity
+	}
+	s := &Subscriber{
+		bus:    b,
+		ring:   make([]BusEvent, capacity),
+		notify: make(chan struct{}, 1),
+	}
+	b.mu.Lock()
+	b.subs = append(b.subs, s)
+	b.mu.Unlock()
+	b.nsubs.Add(1)
+	mBusSubscribers.Set(int64(b.nsubs.Load()))
+	return s
+}
+
+// Subscribers reports how many subscribers are attached.
+func (b *Bus) Subscribers() int { return int(b.nsubs.Load()) }
+
+// Subscriber is one consumer's bounded view of the bus. All methods are
+// safe for concurrent use, but events are handed out in order to one
+// reader at a time.
+type Subscriber struct {
+	bus *Bus
+
+	mu      sync.Mutex
+	ring    []BusEvent
+	head    int // index of the oldest buffered event
+	n       int // buffered event count
+	dropped uint64
+	closed  bool
+
+	// notify wakes a blocked Next; capacity 1 so push never blocks.
+	notify chan struct{}
+}
+
+// push appends ev, overwriting the oldest event when the ring is full.
+// Called by the bus with its read lock held; never blocks.
+func (s *Subscriber) push(ev BusEvent) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	if s.n == len(s.ring) {
+		// Drop-oldest: the publisher's latency is not negotiable.
+		s.ring[s.head] = ev
+		s.head = (s.head + 1) % len(s.ring)
+		s.dropped++
+		mBusDropped.Inc()
+	} else {
+		s.ring[(s.head+s.n)%len(s.ring)] = ev
+		s.n++
+	}
+	s.mu.Unlock()
+	select {
+	case s.notify <- struct{}{}:
+	default:
+	}
+}
+
+// TryNext returns the oldest buffered event, or ok=false when the ring
+// is empty (or the subscriber closed).
+func (s *Subscriber) TryNext() (BusEvent, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.n == 0 {
+		return BusEvent{}, false
+	}
+	ev := s.ring[s.head]
+	s.ring[s.head] = BusEvent{} // release string refs
+	s.head = (s.head + 1) % len(s.ring)
+	s.n--
+	return ev, true
+}
+
+// Next blocks until an event is available, the subscriber is closed, or
+// cancel is closed (nil cancel never fires). ok=false means closed or
+// cancelled.
+func (s *Subscriber) Next(cancel <-chan struct{}) (BusEvent, bool) {
+	for {
+		if ev, ok := s.TryNext(); ok {
+			return ev, true
+		}
+		s.mu.Lock()
+		closed := s.closed
+		s.mu.Unlock()
+		if closed {
+			return BusEvent{}, false
+		}
+		select {
+		case <-s.notify:
+		case <-cancel:
+			return BusEvent{}, false
+		}
+	}
+}
+
+// Dropped reports how many events this subscriber lost to ring
+// overflow.
+func (s *Subscriber) Dropped() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
+}
+
+// Close detaches the subscriber from the bus and wakes any blocked
+// Next. Safe to call multiple times.
+func (s *Subscriber) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+
+	b := s.bus
+	b.mu.Lock()
+	for i, sub := range b.subs {
+		if sub == s {
+			b.subs = append(b.subs[:i], b.subs[i+1:]...)
+			break
+		}
+	}
+	b.mu.Unlock()
+	b.nsubs.Add(-1)
+	mBusSubscribers.Set(int64(b.nsubs.Load()))
+	select {
+	case s.notify <- struct{}{}:
+	default:
+	}
+}

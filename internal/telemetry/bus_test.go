@@ -1,0 +1,219 @@
+package telemetry
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBusDeliversInOrder(t *testing.T) {
+	b := NewBus()
+	sub := b.Subscribe(16)
+	defer sub.Close()
+	for i := 0; i < 5; i++ {
+		b.Publish(BusEvent{Kind: "grant", Detail: fmt.Sprint(i)})
+	}
+	for i := 0; i < 5; i++ {
+		ev, ok := sub.TryNext()
+		if !ok {
+			t.Fatalf("event %d missing", i)
+		}
+		if ev.Detail != fmt.Sprint(i) {
+			t.Fatalf("event %d = %q, want %q", i, ev.Detail, fmt.Sprint(i))
+		}
+		if ev.Seq == 0 {
+			t.Fatal("seq not stamped")
+		}
+		if ev.At.IsZero() {
+			t.Fatal("timestamp not stamped")
+		}
+	}
+	if _, ok := sub.TryNext(); ok {
+		t.Fatal("unexpected extra event")
+	}
+}
+
+func TestBusDropOldestOnSlowConsumer(t *testing.T) {
+	b := NewBus()
+	sub := b.Subscribe(4)
+	defer sub.Close()
+	for i := 0; i < 10; i++ {
+		b.Publish(BusEvent{Kind: "cycle", Detail: fmt.Sprint(i)})
+	}
+	if got := sub.Dropped(); got != 6 {
+		t.Fatalf("dropped = %d, want 6", got)
+	}
+	// The survivors are the newest four, still in order.
+	for i := 6; i < 10; i++ {
+		ev, ok := sub.TryNext()
+		if !ok || ev.Detail != fmt.Sprint(i) {
+			t.Fatalf("survivor = %+v ok=%v, want detail %d", ev, ok, i)
+		}
+	}
+}
+
+func TestBusSlowSubscriberDoesNotAffectOthers(t *testing.T) {
+	b := NewBus()
+	slow := b.Subscribe(2)
+	defer slow.Close()
+	fast := b.Subscribe(64)
+	defer fast.Close()
+	for i := 0; i < 20; i++ {
+		b.Publish(BusEvent{Kind: "poll"})
+	}
+	if fast.Dropped() != 0 {
+		t.Fatalf("fast subscriber dropped %d events", fast.Dropped())
+	}
+	if slow.Dropped() != 18 {
+		t.Fatalf("slow subscriber dropped %d, want 18", slow.Dropped())
+	}
+	n := 0
+	for {
+		if _, ok := fast.TryNext(); !ok {
+			break
+		}
+		n++
+	}
+	if n != 20 {
+		t.Fatalf("fast subscriber got %d events, want 20", n)
+	}
+}
+
+func TestBusNextBlocksAndWakes(t *testing.T) {
+	b := NewBus()
+	sub := b.Subscribe(8)
+	defer sub.Close()
+	got := make(chan BusEvent, 1)
+	go func() {
+		ev, ok := sub.Next(nil)
+		if ok {
+			got <- ev
+		}
+		close(got)
+	}()
+	time.Sleep(10 * time.Millisecond)
+	b.Publish(BusEvent{Kind: "grant", Job: "ws0/1"})
+	select {
+	case ev := <-got:
+		if ev.Job != "ws0/1" {
+			t.Fatalf("got %+v", ev)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Next never woke")
+	}
+}
+
+func TestBusNextCancel(t *testing.T) {
+	b := NewBus()
+	sub := b.Subscribe(8)
+	defer sub.Close()
+	cancel := make(chan struct{})
+	done := make(chan bool, 1)
+	go func() {
+		_, ok := sub.Next(cancel)
+		done <- ok
+	}()
+	close(cancel)
+	select {
+	case ok := <-done:
+		if ok {
+			t.Fatal("cancelled Next returned ok")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Next ignored cancel")
+	}
+}
+
+func TestBusCloseWakesNext(t *testing.T) {
+	b := NewBus()
+	sub := b.Subscribe(8)
+	done := make(chan bool, 1)
+	go func() {
+		_, ok := sub.Next(nil)
+		done <- ok
+	}()
+	time.Sleep(5 * time.Millisecond)
+	sub.Close()
+	select {
+	case ok := <-done:
+		if ok {
+			t.Fatal("closed Next returned ok")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Next ignored Close")
+	}
+	if b.Subscribers() != 0 {
+		t.Fatalf("subscribers = %d after close", b.Subscribers())
+	}
+}
+
+func TestBusConcurrentPublishSubscribe(t *testing.T) {
+	b := NewBus()
+	const publishers = 8
+	const perPublisher = 200
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Churning subscribers while publishers run: attach, read a little,
+	// detach.
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s := b.Subscribe(32)
+				for j := 0; j < 10; j++ {
+					s.TryNext()
+				}
+				s.Close()
+			}
+		}()
+	}
+	var pubWG sync.WaitGroup
+	for p := 0; p < publishers; p++ {
+		pubWG.Add(1)
+		go func() {
+			defer pubWG.Done()
+			for i := 0; i < perPublisher; i++ {
+				b.Publish(BusEvent{Kind: "stress"})
+			}
+		}()
+	}
+	pubWG.Wait()
+	close(stop)
+	wg.Wait()
+}
+
+// BenchmarkBusPublish is the committed-baseline guard for the bus hot
+// path: with no subscribers attached (the normal state of a daemon
+// nobody is watching), Publish must be a single atomic load — zero
+// allocations.
+func BenchmarkBusPublish(b *testing.B) {
+	bus := NewBus()
+	ev := BusEvent{Source: "coordinator", Kind: "grant", Job: "ws0/1", Station: "ws1"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bus.Publish(ev)
+	}
+}
+
+// BenchmarkBusPublishSubscribed measures the watched path: one attached
+// subscriber that never reads (worst case — every publish overwrites
+// the ring).
+func BenchmarkBusPublishSubscribed(b *testing.B) {
+	bus := NewBus()
+	sub := bus.Subscribe(256)
+	defer sub.Close()
+	ev := BusEvent{Source: "coordinator", Kind: "grant", Job: "ws0/1", Station: "ws1"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bus.Publish(ev)
+	}
+}

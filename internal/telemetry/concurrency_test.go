@@ -1,0 +1,221 @@
+// Concurrency coverage for the operational HTTP surface: handler and
+// readiness registration racing active Serve listeners, and the
+// /traces and /accounting endpoints under many simultaneous readers
+// with live writers. These tests carry their weight under -race (the
+// Makefile's race and chaos targets); without it they are still a
+// smoke test that nothing deadlocks or panics.
+package telemetry_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"condor/internal/accounting"
+	"condor/internal/telemetry"
+	"condor/internal/trace"
+)
+
+// TestServeConcurrentRegistration churns Handle, RegisterReadiness and
+// UnregisterReadiness from many goroutines while other goroutines start
+// and stop Serve listeners and hammer a long-lived listener's /metrics
+// and /healthz. The registries are process-global; any missing lock
+// shows up under -race.
+func TestServeConcurrentRegistration(t *testing.T) {
+	srv, err := telemetry.Serve("127.0.0.1:0", telemetry.Default)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Handler registration churn: a fixed pattern set, re-registered
+	// repeatedly (replacement is documented behaviour), so the registry
+	// does not grow without bound.
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			pattern := fmt.Sprintf("/conc-extra-%d", i)
+			h := http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+				fmt.Fprint(w, "ok")
+			})
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				telemetry.Handle(pattern, h)
+				time.Sleep(time.Millisecond)
+			}
+		}(i)
+	}
+
+	// Readiness churn: register, evaluate, unregister.
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			name := fmt.Sprintf("conc-check-%d", i)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				telemetry.RegisterReadiness(name, func() error { return fmt.Errorf("busy") })
+				_ = telemetry.ReadinessFailures()
+				telemetry.UnregisterReadiness(name)
+				time.Sleep(time.Millisecond)
+			}
+		}(i)
+	}
+
+	// Listener churn: every new Serve snapshot-copies the extra-handler
+	// registry while the churners mutate it.
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s, err := telemetry.Serve("127.0.0.1:0", telemetry.Default)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				s.Close()
+				time.Sleep(5 * time.Millisecond)
+			}
+		}()
+	}
+
+	// Scrapers against the long-lived listener.
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, path := range []string{"/metrics", "/healthz"} {
+					resp, err := http.Get("http://" + srv.Addr() + path)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					io.Copy(io.Discard, resp.Body) //nolint:errcheck
+					resp.Body.Close()
+				}
+			}
+		}()
+	}
+
+	time.Sleep(300 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	// The registries must still work after the churn.
+	telemetry.RegisterReadiness("conc-final", func() error { return fmt.Errorf("down") })
+	if f := telemetry.ReadinessFailures(); len(f) == 0 {
+		t.Error("readiness registry lost registrations after concurrent churn")
+	}
+	telemetry.UnregisterReadiness("conc-final")
+}
+
+// TestTracesAccountingConcurrentReaders serves /traces and /accounting
+// to 50 simultaneous readers while writers keep recording spans and
+// metering jobs. Every response must stay valid JSON — a snapshot torn
+// by a concurrent writer would not.
+func TestTracesAccountingConcurrentReaders(t *testing.T) {
+	srv, err := telemetry.Serve("127.0.0.1:0", telemetry.Default)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	stop := make(chan struct{})
+	var writers sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		writers.Add(1)
+		go func(i int) {
+			defer writers.Done()
+			for n := 0; ; n++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				sp := trace.StartRoot("conc-span")
+				sp.SetJob(fmt.Sprintf("conc-job-%d-%d", i, n))
+				sp.SetAttr("writer", fmt.Sprintf("%d", i))
+				sp.Finish()
+				jobID := fmt.Sprintf("conc-acct-%d-%d", i, n%8)
+				m := accounting.Default.Job(jobID, "conc", "ws0")
+				m.ExecTime(time.Microsecond)
+				m.Syscall(64, time.Microsecond)
+				if n%8 == 7 {
+					accounting.Default.Retire(jobID)
+				}
+				// Throttle: the writers' job is to race the readers, not
+				// to make each /traces page as expensive as possible.
+				time.Sleep(200 * time.Microsecond)
+			}
+		}(i)
+	}
+
+	const readers = 50
+	var rg sync.WaitGroup
+	errs := make(chan error, readers)
+	for i := 0; i < readers; i++ {
+		rg.Add(1)
+		go func() {
+			defer rg.Done()
+			for n := 0; n < 4; n++ {
+				for _, path := range []string{"/traces", "/accounting"} {
+					resp, err := http.Get("http://" + srv.Addr() + path)
+					if err != nil {
+						errs <- err
+						return
+					}
+					body, err := io.ReadAll(resp.Body)
+					resp.Body.Close()
+					if err != nil {
+						errs <- err
+						return
+					}
+					if resp.StatusCode != http.StatusOK {
+						errs <- fmt.Errorf("%s: %s", path, resp.Status)
+						return
+					}
+					var page map[string]any
+					if err := json.Unmarshal(body, &page); err != nil {
+						errs <- fmt.Errorf("%s returned invalid JSON under load: %w", path, err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	rg.Wait()
+	close(stop)
+	writers.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

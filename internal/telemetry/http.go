@@ -56,6 +56,14 @@ func UnregisterReadiness(name string) {
 	delete(readyChecks, name)
 }
 
+// ReadinessFailures evaluates every registered readiness check and
+// returns "name: error" lines, sorted for deterministic output (empty
+// when all ready). /healthz serves these in its 503 body; the
+// coordinator also ships them in CoordinatorInfo so condor-status and
+// the dashboard can show *why* a daemon is unready without a second
+// scrape.
+func ReadinessFailures() []string { return readinessFailures() }
+
 // readinessFailures evaluates all checks and returns "name: error"
 // lines, sorted for deterministic output (empty when all ready).
 func readinessFailures() []string {
@@ -106,6 +114,9 @@ func Serve(addr string, reg *Registry) (*Server, error) {
 	s := &Server{ln: ln, started: time.Now()}
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", reg.Handler())
+	// The live event stream (see bus.go / sse.go): every daemon with an
+	// operational listener also streams its bus at /events.
+	mux.Handle("/events", SSEHandler(Events, 0))
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		if failures := readinessFailures(); len(failures) > 0 {
 			w.WriteHeader(http.StatusServiceUnavailable)

@@ -1,0 +1,88 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// The /events endpoint: the bus rendered as a Server-Sent Events
+// stream, the wire format every browser speaks natively. Each bus event
+// becomes one SSE frame:
+//
+//	id: <seq>
+//	event: <kind>
+//	data: <BusEvent as JSON>
+//
+// followed by a blank line. A comment frame (": keepalive") rides the
+// stream periodically so proxies and the browser's EventSource can tell
+// a quiet pool from a dead connection. The handler subscribes one
+// bounded ring per connection: a stalled client drops its own oldest
+// events (visible as gaps in the id sequence and in
+// condor_bus_events_dropped_total) and never backpressures a publisher.
+
+// SSEKeepalive is the comment-frame interval on /events streams.
+const SSEKeepalive = 15 * time.Second
+
+// SSEHandler streams bus onto each connection as Server-Sent Events.
+// capacity sizes the per-connection ring (<=0 selects the default).
+func SSEHandler(bus *Bus, capacity int) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		fl, ok := w.(http.Flusher)
+		if !ok {
+			http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-cache")
+		w.Header().Set("X-Accel-Buffering", "no") // defeat proxy buffering
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintf(w, ": condor event stream\n\n")
+		fl.Flush()
+
+		sub := bus.Subscribe(capacity)
+		defer sub.Close()
+		done := req.Context().Done()
+		keepalive := time.NewTicker(SSEKeepalive)
+		defer keepalive.Stop()
+		for {
+			// Drain everything buffered before blocking again, so one
+			// flush covers a burst.
+			wrote := false
+			for {
+				ev, ok := sub.TryNext()
+				if !ok {
+					break
+				}
+				if err := writeSSE(w, ev); err != nil {
+					return
+				}
+				wrote = true
+			}
+			if wrote {
+				fl.Flush()
+			}
+			select {
+			case <-done:
+				return
+			case <-keepalive.C:
+				if _, err := fmt.Fprint(w, ": keepalive\n\n"); err != nil {
+					return
+				}
+				fl.Flush()
+			case <-sub.notify:
+			}
+		}
+	})
+}
+
+// writeSSE renders one event as an SSE frame.
+func writeSSE(w http.ResponseWriter, ev BusEvent) error {
+	data, err := json.Marshal(ev)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Kind, data)
+	return err
+}

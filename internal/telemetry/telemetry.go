@@ -453,6 +453,12 @@ var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
 
 func escapeLabel(v string) string { return labelEscaper.Replace(v) }
 
+// helpEscaper covers the HELP-line escapes the exposition format
+// defines: backslash and newline (quotes are legal in HELP text).
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
+func escapeHelp(v string) string { return helpEscaper.Replace(v) }
+
 // formatFloat renders a float the way Prometheus expects.
 func formatFloat(v float64) string {
 	switch {
@@ -477,7 +483,7 @@ func (r *Registry) WriteText(b *strings.Builder) {
 		if len(ss) == 0 {
 			continue
 		}
-		fmt.Fprintf(b, "# HELP %s %s\n", f.name, f.help)
+		fmt.Fprintf(b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
 		fmt.Fprintf(b, "# TYPE %s %s\n", f.name, f.kind)
 		for _, s := range ss {
 			s.write(b, f.name)
