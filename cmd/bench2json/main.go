@@ -6,9 +6,10 @@
 // With -compare it instead checks the run against a committed baseline:
 // ns/op drift beyond -tolerance and any new allocations on a
 // previously-allocation-free path are reported (as GitHub annotations
-// when running in Actions) and fail the exit code. CI runs this as an
-// informational job — noisy shared runners make timing drift advisory,
-// not blocking.
+// when running in Actions) and fail the exit code. CI gates on this;
+// benchmarks too timing-sensitive for shared runners are excused by
+// name in the -allowlist file (their drift is still printed, it just
+// does not fail the build).
 package main
 
 import (
@@ -48,6 +49,8 @@ func main() {
 			"compare the run on stdin against this baseline JSON instead of emitting JSON")
 		tolerance = flag.Float64("tolerance", 0.30,
 			"allowed fractional ns/op drift vs the baseline (0.30 = ±30%)")
+		allowlistPath = flag.String("allowlist", "",
+			"file of benchmark names (one per line, # comments) whose timing drift is reported but never fails the exit code")
 	)
 	flag.Parse()
 	doc, err := parse(bufio.NewScanner(os.Stdin))
@@ -56,7 +59,12 @@ func main() {
 		os.Exit(1)
 	}
 	if *comparePath != "" {
-		os.Exit(compare(*comparePath, *tolerance, doc))
+		allow, err := loadAllowlist(*allowlistPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench2json:", err)
+			os.Exit(1)
+		}
+		os.Exit(compare(*comparePath, *tolerance, allow, doc))
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
@@ -77,10 +85,37 @@ func normName(name string) string {
 	return name
 }
 
+// loadAllowlist reads one benchmark name per line; blank lines and
+// #-comments are skipped. Names are matched after normName, so the file
+// lists "BenchmarkCycle1000", not "BenchmarkCycle1000-8".
+func loadAllowlist(path string) (map[string]bool, error) {
+	if path == "" {
+		return nil, nil
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	allow := map[string]bool{}
+	for _, line := range strings.Split(string(raw), "\n") {
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line != "" {
+			allow[normName(line)] = true
+		}
+	}
+	return allow, nil
+}
+
 // compare reports drift of the stdin run versus the committed baseline.
 // Returns the process exit code: 0 in tolerance, 1 on drift or a new
-// allocation on a previously allocation-free benchmark.
-func compare(baselinePath string, tolerance float64, cur *Document) int {
+// allocation on a previously allocation-free benchmark. Allowlisted
+// benchmarks report timing drift without failing; a new allocation on a
+// 0 allocs/op path is never excused (allocation counts are exact, not
+// runner noise).
+func compare(baselinePath string, tolerance float64, allow map[string]bool, cur *Document) int {
 	raw, err := os.ReadFile(baselinePath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bench2json:", err)
@@ -117,6 +152,9 @@ func compare(baselinePath string, tolerance float64, cur *Document) int {
 				fmt.Printf("::warning title=bench drift::%s now allocates (%d allocs/op, baseline 0)\n",
 					name, r.AllocsOp)
 			}
+		case delta > tolerance && allow[name]:
+			fmt.Printf("SLOW  %-40s %10.1f -> %10.1f ns/op (%+.0f%%, allowlisted)\n",
+				name, b.NsOp, r.NsOp, 100*delta)
 		case delta > tolerance:
 			bad++
 			fmt.Printf("SLOW  %-40s %10.1f -> %10.1f ns/op (%+.0f%%, tolerance %.0f%%)\n",

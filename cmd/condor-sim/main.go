@@ -11,9 +11,11 @@ import (
 	"io"
 	"log"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
+	"condor/internal/decision"
 	"condor/internal/policy"
 	"condor/internal/simulation"
 )
@@ -45,8 +47,20 @@ func main() {
 		seeds   = flag.Int("seeds", 0, "aggregate over this many seeds (prints mean ± std) instead of one run")
 		jsonOut = flag.String("json", "", "also write the full report as JSON to this file")
 		csvOut  = flag.String("csv", "", "also write hourly+by-demand CSVs with this path prefix")
+		explain = flag.Bool("explain", false,
+			"audit every cycle's decision and show where the -policy pair's grants diverge (default pair: updown,fifo)")
 	)
 	flag.Parse()
+	if *explain {
+		names := []string{"updown", "fifo"}
+		if *policyNames != "" {
+			names = strings.Split(*policyNames, ",")
+		}
+		if err := runExplainAB(baseConfig(*machines, *days, *seed), names); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	if *policyNames != "" && strings.Contains(*policyNames, ",") {
 		if err := runPolicyAB(baseConfig(*machines, *days, *seed), strings.Split(*policyNames, ",")); err != nil {
 			log.Fatal(err)
@@ -165,6 +179,91 @@ func runPolicyAB(base simulation.Config, names []string) error {
 		fmt.Println()
 	}
 	return nil
+}
+
+// runExplainAB runs the same seeded workload once per policy with a
+// decision-audit recorder attached, then walks the retained cycles and
+// prints the first divergences: cycles where the two policies, looking
+// at their own evolving pools, granted different (requester, machine)
+// pairs. The full audit of each side is printed so the ranking and
+// predicate trail explain *why* they diverged.
+func runExplainAB(base simulation.Config, names []string) error {
+	if len(names) != 2 {
+		return fmt.Errorf("-explain compares exactly two policies, got %d", len(names))
+	}
+	type side struct {
+		name   string
+		rec    *decision.Recorder
+		cycles map[uint64]*decision.CycleAudit
+	}
+	sides := make([]*side, 2)
+	// The month is ~21k cycles; retain them all so early divergences
+	// (where the policies first split) are still in the ring.
+	capacity := (base.Days + 10) * 24 * 60
+	for i, name := range names {
+		name = strings.TrimSpace(name)
+		if _, err := policy.New(name); err != nil {
+			return err
+		}
+		cfg := base
+		cfg.Policy.Name = name
+		cfg.Audit = decision.NewRecorder(capacity)
+		simulation.Run(cfg)
+		if name == "" {
+			name = policy.DefaultPolicy
+		}
+		audits := cfg.Audit.Snapshot()
+		s := &side{name: name, rec: cfg.Audit,
+			cycles: make(map[uint64]*decision.CycleAudit, len(audits))}
+		for j := range audits {
+			s.cycles[audits[j].Cycle] = &audits[j]
+		}
+		sides[i] = s
+	}
+
+	grantKey := func(a *decision.CycleAudit) string {
+		parts := make([]string, 0, len(a.Grants))
+		for _, g := range a.Grants {
+			parts = append(parts, g.Requester+"→"+g.Exec)
+		}
+		sort.Strings(parts)
+		return strings.Join(parts, " ")
+	}
+	total, diverged, shown := 0, 0, 0
+	const showMax = 3
+	for c := uint64(1); ; c++ {
+		a, okA := sides[0].cycles[c]
+		b, okB := sides[1].cycles[c]
+		if !okA || !okB {
+			if !okA && !okB {
+				break
+			}
+			continue
+		}
+		total++
+		ka, kb := grantKey(a), grantKey(b)
+		if ka == kb {
+			continue
+		}
+		diverged++
+		if shown < showMax {
+			shown++
+			fmt.Printf("=== divergence %d at cycle %d ===\n", shown, c)
+			fmt.Printf("%s grants: %s\n%s grants: %s\n\n", sides[0].name, orNone(ka), sides[1].name, orNone(kb))
+			fmt.Printf("--- %s ---\n%s\n--- %s ---\n%s\n", sides[0].name,
+				decision.RenderCycle(a), sides[1].name, decision.RenderCycle(b))
+		}
+	}
+	fmt.Printf("%s vs %s: %d of %d audited cycles granted differently (%d shown in full)\n",
+		sides[0].name, sides[1].name, diverged, total, shown)
+	return nil
+}
+
+func orNone(s string) string {
+	if s == "" {
+		return "(none)"
+	}
+	return s
 }
 
 func runAblation(base simulation.Config, which string) error {

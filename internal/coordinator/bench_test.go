@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"condor/internal/decision"
 	"condor/internal/policy"
 	"condor/internal/proto"
 	"condor/internal/updown"
@@ -91,3 +92,43 @@ func benchmarkPipelineCycleAt(b *testing.B, stations int) {
 
 func BenchmarkPipelineCycle100(b *testing.B)  { benchmarkPipelineCycleAt(b, 100) }
 func BenchmarkPipelineCycle1000(b *testing.B) { benchmarkPipelineCycleAt(b, 1000) }
+
+// BenchmarkPipelineCycleAudited1000 is the same pipeline with a live
+// decision.Builder attached — the cost of a fully audited cycle, for
+// comparison against the recorder-off baseline above (which runs the
+// identical code with a nil builder).
+func BenchmarkPipelineCycleAudited1000(b *testing.B) {
+	const stations = 1000
+	pol := policy.MustNew(policy.DefaultPolicy)
+	tab := updown.NewTable(updown.DefaultConfig())
+	views := make([]policy.StationView, 0, stations)
+	for i := 0; i < stations; i++ {
+		v := policy.StationView{Name: fmt.Sprintf("ws%04d", i), DiskFree: 1 << 30}
+		switch i % 4 {
+		case 0:
+			v.State = proto.StationIdle
+		case 1:
+			v.State = proto.StationOwner
+		case 2:
+			v.State = proto.StationClaimed
+			v.ForeignOwner = fmt.Sprintf("ws%04d", (i+1)%stations)
+			v.ForeignJob = v.ForeignOwner + "/1"
+			v.WaitingJobs = 2
+		case 3:
+			v.State = proto.StationIdle
+			v.WaitingJobs = 1
+		}
+		tab.Touch(v.Name)
+		views = append(views, v)
+	}
+	cfg := policy.DefaultConfig()
+	cfg.MaxGrantsPerCycle = 4
+	rec := decision.NewRecorder(decision.DefaultCapacity)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		aud := decision.NewBuilder(uint64(i), time.Time{})
+		pol.DecideAudited(views, tab, cfg, aud)
+		rec.Record(aud.Done())
+	}
+}

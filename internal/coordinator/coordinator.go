@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"condor/internal/accounting"
+	"condor/internal/decision"
 	"condor/internal/eventlog"
 	"condor/internal/journal"
 	"condor/internal/policy"
@@ -100,6 +101,11 @@ type Config struct {
 	// SyncEvery fsyncs the journal after every Nth append (default 1 =
 	// every append; negative disables fsync for benchmarks).
 	SyncEvery int
+	// Decisions receives each cycle's scheduling audit (why every
+	// machine was filtered, ranked, granted, or preempted — see
+	// internal/decision). Nil means decision.Default, which the
+	// /decisions endpoint on the -http listener serves.
+	Decisions *decision.Recorder
 }
 
 func (c *Config) sanitize() {
@@ -126,6 +132,9 @@ func (c *Config) sanitize() {
 	}
 	if c.SnapshotEvery <= 0 {
 		c.SnapshotEvery = 16
+	}
+	if c.Decisions == nil {
+		c.Decisions = decision.Default
 	}
 	c.Health.sanitize(c.PollInterval, c.RPCTimeout)
 	// Sanitize sub-configs field-by-field: a partially filled struct keeps
@@ -570,6 +579,13 @@ func (c *Coordinator) handlerFor(peer *wire.Peer) wire.Handler {
 				Coordinator:    c.led.Snapshot(),
 				HasCoordinator: true,
 			}, nil
+		case proto.DecisionsRequest:
+			page := c.cfg.Decisions.PageFor(m.Job, m.Station, m.Cycle, m.Last)
+			return proto.DecisionsReply{
+				Cycles:  page.Cycles,
+				Total:   page.Total,
+				Dropped: page.Dropped,
+			}, nil
 		case proto.PoolStatusRequest:
 			stats := c.Stats()
 			c.mu.Lock()
@@ -780,7 +796,12 @@ func (c *Coordinator) Cycle() {
 	}
 	cycles := c.stats.Cycles
 	sort.Slice(views, func(i, j int) bool { return views[i].Name < views[j].Name })
-	decision := c.pipeline.Decide(views, c.table, c.cfg.Policy)
+	// Every live cycle is audited: the builder collects why each machine
+	// was filtered/ranked/granted, job IDs are annotated as grants are
+	// acted on below, and the finished audit lands in the bounded
+	// decisions ring (served by /decisions and the DecisionsRequest RPC).
+	aud := decision.NewBuilder(cycles, now)
+	dec := c.pipeline.DecideAudited(views, c.table, c.cfg.Policy, aud)
 	addrs := make(map[string]string, len(c.stations))
 	for _, s := range c.stations {
 		addrs[s.name] = s.addr
@@ -823,7 +844,7 @@ func (c *Coordinator) Cycle() {
 
 	// Act.
 	incarnation := c.incarnation()
-	for _, g := range decision.Grants {
+	for gi, g := range dec.Grants {
 		c.bump(func(st *Stats) { st.Grants++ })
 		mGrants.Inc()
 		c.led.Grant(g.Requester)
@@ -858,6 +879,9 @@ func (c *Coordinator) Cycle() {
 			c.bump(func(st *Stats) { st.GrantsUsed++ })
 			mGrantsUsed.Inc()
 			c.led.GrantUsed(g.Requester)
+			// The pipeline granted a machine to a station; only now is the
+			// concrete job known. Stamp it on the audit.
+			aud.AnnotateGrantJob(gi, gr.JobID)
 			// The reply names the placed job's trace; record the grant span
 			// after the fact, backdated to cover the grant RPC. Old stations
 			// send no trace and the span is simply skipped.
@@ -898,7 +922,7 @@ func (c *Coordinator) Cycle() {
 			c.led.GrantDenied(g.Requester)
 		}
 	}
-	for _, p := range decision.Preempts {
+	for _, p := range dec.Preempts {
 		c.bump(func(st *Stats) { st.Preempts++ })
 		mPreempts.Inc()
 		c.led.Preempt(p.Victim)
@@ -925,6 +949,20 @@ func (c *Coordinator) Cycle() {
 	}
 	c.lastCycleNanos.Store(time.Now().UnixNano())
 
+	// Publish the finished audit. The ring write is lock-free and
+	// bounded; the summary rides the eventlog (only for cycles that did
+	// something, so idle cycles don't drown job history) and the bus.
+	audit := aud.Done()
+	c.cfg.Decisions.Record(audit)
+	if len(audit.Grants) > 0 || len(audit.Preempts) > 0 || len(audit.Unserved) > 0 {
+		c.events.Append(eventlog.Event{
+			Kind: eventlog.KindDecision,
+			Detail: fmt.Sprintf("cycle %d (%s): %d requesters, %d rejections, %d grants, %d unserved, %d preempts",
+				cycles, audit.Policy, len(audit.Requesters), len(audit.Rejections),
+				len(audit.Grants), len(audit.Unserved), len(audit.Preempts)),
+		})
+	}
+
 	// One cycle-summary event per allocation cycle: the dashboard's
 	// liveness signal. Built (and allocated) only when someone is
 	// actually listening.
@@ -932,8 +970,16 @@ func (c *Coordinator) Cycle() {
 		telemetry.Events.Publish(telemetry.BusEvent{
 			Source: "coordinator", Kind: "cycle",
 			Detail: fmt.Sprintf("cycle %d: %d stations, %d grants, %d preempts, %s",
-				cycles, total, len(decision.Grants), len(decision.Preempts),
+				cycles, total, len(dec.Grants), len(dec.Preempts),
 				time.Since(cycleStart).Round(time.Millisecond)),
+		})
+		// The decision drill-down's refresh signal: announces that cycle
+		// `cycles` has a fresh audit on /decisions.
+		telemetry.Events.Publish(telemetry.BusEvent{
+			Source: "coordinator", Kind: "decision-cycle",
+			Detail: fmt.Sprintf("cycle %d (%s): %d requesters, %d rejections, %d grants, %d unserved, %d preempts",
+				cycles, audit.Policy, len(audit.Requesters), len(audit.Rejections),
+				len(audit.Grants), len(audit.Unserved), len(audit.Preempts)),
 		})
 	}
 }

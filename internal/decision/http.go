@@ -1,0 +1,51 @@
+package decision
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+
+	"condor/internal/telemetry"
+)
+
+// Page is the /decisions response envelope.
+type Page struct {
+	Cycles  []CycleAudit `json:"cycles"`
+	Total   uint64       `json:"total"`   // audits ever recorded
+	Dropped uint64       `json:"dropped"` // audits lost to ring wraparound
+}
+
+// PageFor snapshots the recorder into a Page with Filter semantics.
+func (r *Recorder) PageFor(job, station string, cycle int64, last int) Page {
+	audits := Filter(r.Snapshot(), job, station, cycle, last)
+	if audits == nil {
+		audits = []CycleAudit{}
+	}
+	return Page{Cycles: audits, Total: r.Total(), Dropped: r.Dropped()}
+}
+
+// Handler serves the recorder as JSON. Query parameters:
+//
+//	?job=<jobID>      cycles whose grants/preempts name the job
+//	?station=<name>   cycles mentioning the station in any role
+//	?cycle=<n|-1>     exact cycle number, or -1 for the newest
+//	?last=<n>         only the newest n cycles
+func Handler(r *Recorder) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		q := req.URL.Query()
+		cycle, _ := strconv.ParseInt(q.Get("cycle"), 10, 64)
+		last, _ := strconv.Atoi(q.Get("last"))
+		page := r.PageFor(q.Get("job"), q.Get("station"), cycle, last)
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(page) //nolint:errcheck // client went away
+	})
+}
+
+func init() {
+	// Every daemon that starts telemetry.Serve gets /decisions for free,
+	// exactly like /traces: the policy pipeline imports decision, so any
+	// binary that schedules links this.
+	telemetry.Handle("/decisions", Handler(Default))
+}

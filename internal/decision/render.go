@@ -1,0 +1,203 @@
+package decision
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// RenderCycle prints one cycle's full audit — the `condor-explain
+// -cycle` view.
+func RenderCycle(a *CycleAudit) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cycle %d  policy=%s  at=%s  stations=%d\n",
+		a.Cycle, a.Policy, a.At.Format("15:04:05.000"), a.Stations)
+	if len(a.Requesters) > 0 {
+		b.WriteString("  requesters (ranked best-first):\n")
+		for _, r := range a.Requesters {
+			fmt.Fprintf(&b, "    %2d. %-16s%s\n", r.Position+1, r.Requester, rankDetail(&r))
+		}
+	}
+	if len(a.Rejections) > 0 {
+		b.WriteString("  rejections:\n")
+		for _, r := range a.Rejections {
+			b.WriteString("    " + rejectionLine(&r) + "\n")
+		}
+	}
+	if len(a.Idle) > 0 {
+		fmt.Fprintf(&b, "  placement order: %s\n", strings.Join(a.Idle, ", "))
+	}
+	for _, g := range a.Grants {
+		fmt.Fprintf(&b, "  grant: %s -> %s%s\n", g.Requester, g.Exec, jobSuffix(g.JobID))
+	}
+	for _, u := range a.Unserved {
+		fmt.Fprintf(&b, "  unserved: %-16s %s\n", u.Requester, u.Reason)
+	}
+	for _, p := range a.Preempts {
+		b.WriteString(renderPreempt(&p))
+	}
+	return b.String()
+}
+
+// RenderRequester is the "why isn't my job running" view: one
+// requester's treatment in one cycle — rank, score, what it got, and
+// every rejection that stood between it and a machine (its own
+// placement-phase rejections plus the requester-blind candidate
+// filtering, which applies to everyone).
+func RenderRequester(a *CycleAudit, requester string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cycle %d  policy=%s  at=%s\n", a.Cycle, a.Policy, a.At.Format("15:04:05.000"))
+	found := false
+	for _, r := range a.Requesters {
+		if r.Requester == requester {
+			fmt.Fprintf(&b, "  rank %d of %d%s\n", r.Position+1, len(a.Requesters), rankDetail(&r))
+			found = true
+		}
+	}
+	if !found {
+		fmt.Fprintf(&b, "  %s was not a requester this cycle (no waiting jobs, or unhealthy)\n", requester)
+	}
+	for _, g := range a.Grants {
+		if g.Requester == requester {
+			fmt.Fprintf(&b, "  granted %s%s\n", g.Exec, jobSuffix(g.JobID))
+		}
+	}
+	for _, u := range a.Unserved {
+		if u.Requester == requester {
+			fmt.Fprintf(&b, "  unserved: %s\n", u.Reason)
+		}
+	}
+	for _, r := range a.Rejections {
+		if r.Requester == requester || r.Requester == "" {
+			b.WriteString("  " + rejectionLine(&r) + "\n")
+		}
+	}
+	for _, p := range a.Preempts {
+		if p.Beneficiary == requester {
+			b.WriteString(renderPreempt(&p))
+		}
+	}
+	return b.String()
+}
+
+// RenderStation is the inverse view: how one machine was treated in one
+// cycle — was it filtered (by which predicate), handed out, or weighed
+// as a preemption victim.
+func RenderStation(a *CycleAudit, station string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cycle %d  policy=%s  at=%s\n", a.Cycle, a.Policy, a.At.Format("15:04:05.000"))
+	for _, r := range a.Rejections {
+		if r.Station == station {
+			b.WriteString("  " + rejectionLine(&r) + "\n")
+		}
+	}
+	for i, n := range a.Idle {
+		if n == station {
+			fmt.Fprintf(&b, "  admitted, placement position %d of %d\n", i+1, len(a.Idle))
+		}
+	}
+	for _, g := range a.Grants {
+		if g.Exec == station {
+			fmt.Fprintf(&b, "  granted to %s%s\n", g.Requester, jobSuffix(g.JobID))
+		}
+		if g.Requester == station {
+			fmt.Fprintf(&b, "  received grant of %s%s\n", g.Exec, jobSuffix(g.JobID))
+		}
+	}
+	for _, p := range a.Preempts {
+		for _, c := range p.Compared {
+			if c.Exec != station {
+				continue
+			}
+			verdict := "owner outranks " + p.Beneficiary + ", spared"
+			if c.Outranked {
+				verdict = "owner outranked by " + p.Beneficiary
+				if c.Chosen {
+					verdict += ", CHOSEN as victim"
+				} else {
+					verdict += ", spared (worse victim existed)"
+				}
+			}
+			fmt.Fprintf(&b, "  preempt compare: owner=%s — %s\n", c.Owner, verdict)
+		}
+	}
+	return b.String()
+}
+
+// TopRejection summarizes why a requester is starved across audits: the
+// predicate that most often stood between it and a machine (its own
+// placement-phase rejections plus requester-blind candidate
+// filtering), with the count. Returns ok=false when no rejection
+// involves the requester.
+func TopRejection(audits []CycleAudit, requester string) (predicate string, count int, ok bool) {
+	counts := map[string]int{}
+	for i := range audits {
+		for _, r := range audits[i].Rejections {
+			if r.Requester == requester || r.Requester == "" {
+				counts[r.Predicate]++
+			}
+		}
+	}
+	names := make([]string, 0, len(counts))
+	for n := range counts {
+		names = append(names, n)
+	}
+	sort.Strings(names) // deterministic tie-break
+	for _, n := range names {
+		if counts[n] > count {
+			predicate, count = n, counts[n]
+		}
+	}
+	return predicate, count, count > 0
+}
+
+func rankDetail(r *RankEntry) string {
+	var b strings.Builder
+	if r.HasScore {
+		fmt.Fprintf(&b, "  index=%g", r.Score)
+	}
+	for _, f := range r.Features {
+		fmt.Fprintf(&b, "  %s=%s", f.Key, f.Value)
+	}
+	return b.String()
+}
+
+func rejectionLine(r *Rejection) string {
+	phase := "candidate"
+	if r.Requester != "" {
+		phase = "for " + r.Requester
+	}
+	line := fmt.Sprintf("%-16s rejected by %-12s (%s)", r.Station, r.Predicate, phase)
+	if r.Threshold != "" || r.Observed != "" {
+		line += fmt.Sprintf("  want %s, got %s", r.Threshold, r.Observed)
+	}
+	return line
+}
+
+func renderPreempt(p *PreemptAudit) string {
+	var b strings.Builder
+	if p.Exec != "" {
+		fmt.Fprintf(&b, "  preempt for %s: evict %s's job%s on %s\n",
+			p.Beneficiary, p.Victim, jobSuffix(p.JobID), p.Exec)
+	} else {
+		fmt.Fprintf(&b, "  preempt for %s: no victim (no outranked foreign job)\n", p.Beneficiary)
+	}
+	for _, c := range p.Compared {
+		mark := "outranks " + p.Beneficiary
+		if c.Outranked {
+			mark = "outranked"
+			if c.Chosen {
+				mark += ", chosen"
+			}
+		}
+		fmt.Fprintf(&b, "    considered %-16s owner=%-12s %s\n", c.Exec, c.Owner, mark)
+	}
+	return b.String()
+}
+
+func jobSuffix(jobID string) string {
+	if jobID == "" {
+		return ""
+	}
+	return " (job " + jobID + ")"
+}

@@ -44,6 +44,11 @@ const (
 	// KindDegraded marks the coordinator entering or leaving degraded
 	// mode (too much of the pool non-healthy; up-down movement frozen).
 	KindDegraded Kind = "degraded"
+
+	// KindDecision summarizes one allocation cycle that did something
+	// (grants, preemptions, or starved requesters); the full per-station
+	// audit lives in the /decisions ring (internal/decision).
+	KindDecision Kind = "decision-cycle"
 )
 
 // Event is one log entry.

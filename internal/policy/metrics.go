@@ -19,6 +19,14 @@ var (
 		"Grants issued by the placement stage.", "policy")
 	mStagePreempts = telemetry.NewCounterVec("condor_policy_stage_preempts_total",
 		"Victims selected by the preemptor stage.", "policy")
+	// mPredicateDenied breaks mStageFiltered down by *which* predicate
+	// rejected — the aggregate side of the decision audit. Counted in
+	// the requester-blind candidate phase only (the same machine may be
+	// re-tested per requester during placement, which would double
+	// count), so it agrees with the candidate-phase rejections on
+	// /decisions. The label value is "<policy>/<predicate>".
+	mPredicateDenied = telemetry.NewCounterVec("condor_policy_predicate_denied_total",
+		"Candidate machines rejected, by policy/predicate (requester-blind phase).", "pred")
 )
 
 type policyMetrics struct {
@@ -28,10 +36,13 @@ type policyMetrics struct {
 	filtered   *telemetry.Counter
 	grants     *telemetry.Counter
 	preempts   *telemetry.Counter
+	// denied is parallel to Policy.Predicates: denied[i] counts
+	// candidate-phase rejections by the i-th predicate.
+	denied []*telemetry.Counter
 }
 
-func newPolicyMetrics(name string) *policyMetrics {
-	return &policyMetrics{
+func newPolicyMetrics(name string, preds []Predicate) *policyMetrics {
+	m := &policyMetrics{
 		decide:     mDecideSeconds.With(name),
 		requesters: mStageRequesters.With(name),
 		candidates: mStageCandidates.With(name),
@@ -39,4 +50,9 @@ func newPolicyMetrics(name string) *policyMetrics {
 		grants:     mStageGrants.With(name),
 		preempts:   mStagePreempts.With(name),
 	}
+	m.denied = make([]*telemetry.Counter, len(preds))
+	for i, p := range preds {
+		m.denied[i] = mPredicateDenied.With(name + "/" + p.Name())
+	}
+	return m
 }

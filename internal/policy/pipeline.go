@@ -18,9 +18,12 @@
 package policy
 
 import (
+	"fmt"
 	"sort"
+	"strconv"
 	"time"
 
+	"condor/internal/decision"
 	"condor/internal/proto"
 )
 
@@ -86,6 +89,10 @@ type PreemptContext struct {
 	// Better is the ranker's strict-outranking relation.
 	Better func(a, b string) bool
 	Cfg    *Config
+	// Audit, when non-nil, receives the preemptor's victim comparisons.
+	// All Builder methods are nil-receiver safe, so implementations may
+	// call them unconditionally.
+	Audit *decision.Builder
 }
 
 // Preemptor selects victims. Implementations must respect
@@ -110,12 +117,30 @@ type Policy struct {
 func (p *Policy) Name() string { return p.name }
 
 func (p *Policy) admit(m *StationView, req string, cfg *Config) bool {
-	for _, pred := range p.Predicates {
+	return p.admitIdx(m, req, cfg) < 0
+}
+
+// admitIdx runs the predicate chain and returns the index of the first
+// rejecting predicate, or -1 when every predicate admits — so the audit
+// and the per-predicate deny counters know *which* gate closed without
+// a second pass.
+func (p *Policy) admitIdx(m *StationView, req string, cfg *Config) int {
+	for i, pred := range p.Predicates {
 		if !pred.Admit(m, req, cfg) {
-			return false
+			return i
 		}
 	}
-	return true
+	return -1
+}
+
+// rejection assembles the audit record for predicate idx rejecting m.
+// Only called on the (cold) rejection path with a live builder.
+func (p *Policy) rejection(m *StationView, req string, idx int, cfg *Config) decision.Rejection {
+	r := decision.Rejection{Station: m.Name, Requester: req, Predicate: p.Predicates[idx].Name()}
+	if ex, ok := p.Predicates[idx].(Explainer); ok {
+		r.Threshold, r.Observed = ex.Explain(m, req, cfg)
+	}
+	return r
 }
 
 // requesterEligible gates which stations may ask for capacity: a
@@ -140,9 +165,22 @@ func (p *Policy) Better(a, b string, stations []StationView, prio Prioritizer, c
 // per-station pacing (§4), then — only when no unreserved idle capacity
 // remains — let the preemptor evict outranked foreign jobs (§2.4).
 func (p *Policy) Decide(stations []StationView, prio Prioritizer, cfg Config) Decision {
+	return p.DecideAudited(stations, prio, cfg, nil)
+}
+
+// DecideAudited is Decide with an optional decision audit: when aud is
+// non-nil, every stage records why it did what it did — which predicate
+// rejected each machine (threshold vs observed), each requester's rank
+// score and feature breakdown, the placement order, and the preemptor's
+// victim comparisons. The audit is strictly observational: a nil and a
+// non-nil builder produce identical Decisions (the conformance suite
+// asserts this for every registered policy), and the nil path costs one
+// branch per hook — no allocations beyond Decide's own.
+func (p *Policy) DecideAudited(stations []StationView, prio Prioritizer, cfg Config, aud *decision.Builder) Decision {
 	start := time.Now()
 	cfg.sanitize()
 	pool := newPool(stations)
+	aud.Begin(p.name, len(stations))
 
 	// Requesters, best priority first. Stations keep wanting capacity
 	// for every waiting job, but receive at most one grant per cycle:
@@ -157,17 +195,33 @@ func (p *Policy) Decide(stations []StationView, prio Prioritizer, cfg Config) De
 	sort.Strings(wanting) // deterministic base order before ranking
 	requesters := p.Ranker.Rank(wanting, pool, prio, &cfg)
 	p.met.requesters.Add(uint64(len(requesters)))
+	if aud != nil {
+		p.auditRank(requesters, pool, prio, aud)
+	}
 
 	// Candidate machines: every predicate must admit, requester-blind.
+	// A rejection here applies to every requester; it is what the
+	// per-predicate deny counters count and what /decisions reports
+	// with an empty requester.
 	var candidates []StationView
 	for i := range stations {
-		if p.admit(&stations[i], "", &cfg) {
+		if idx := p.admitIdx(&stations[i], "", &cfg); idx >= 0 {
+			if idx < len(p.met.denied) {
+				p.met.denied[idx].Inc()
+			}
+			if aud != nil {
+				aud.Reject(p.rejection(&stations[i], "", idx, &cfg))
+			}
+		} else {
 			candidates = append(candidates, stations[i])
 		}
 	}
 	p.met.candidates.Add(uint64(len(candidates)))
 	p.met.filtered.Add(uint64(len(stations) - len(candidates)))
 	idle := p.Placer.Order(candidates, &cfg)
+	if aud != nil {
+		aud.Idle(idle)
+	}
 
 	var d Decision
 	granted := make(map[string]bool, len(requesters))
@@ -192,10 +246,18 @@ func (p *Policy) Decide(stations []StationView, prio Prioritizer, cfg Config) De
 			pick := -1
 			for i, exec := range idle {
 				m := pool.byName[exec]
-				if p.admit(&m, req, &cfg) {
-					pick = i
-					break
+				if idx := p.admitIdx(&m, req, &cfg); idx >= 0 {
+					// Placement-phase rejection: this machine refused
+					// this concrete requester (typically a reservation
+					// held for someone else). Audit-only — the deny
+					// counters count the requester-blind phase.
+					if aud != nil {
+						aud.Reject(p.rejection(&m, req, idx, &cfg))
+					}
+					continue
 				}
+				pick = i
+				break
 			}
 			if pick < 0 {
 				continue
@@ -206,10 +268,28 @@ func (p *Policy) Decide(stations []StationView, prio Prioritizer, cfg Config) De
 			waitingLeft[req]--
 			grantedThisPass = true
 			d.Grants = append(d.Grants, Grant{Requester: req, Exec: exec})
+			aud.Grant(req, exec)
 		}
 		if !cfg.AllowBurstPerStation || !grantedThisPass ||
 			len(d.Grants) >= cfg.MaxGrantsPerCycle || len(idle) == 0 {
 			break
+		}
+	}
+	if aud != nil {
+		for _, req := range requesters {
+			if granted[req] {
+				continue
+			}
+			reason := "no admissible idle machine"
+			switch {
+			case len(d.Grants) >= cfg.MaxGrantsPerCycle:
+				reason = "grant cap reached (MaxGrantsPerCycle)"
+			case len(candidates) == 0:
+				reason = "no candidate machines (all filtered by predicates)"
+			case len(idle) == 0:
+				reason = "all admitted machines already granted"
+			}
+			aud.Unserved(req, reason)
 		}
 	}
 	d.Preempts = p.Preemptor.Preempts(&PreemptContext{
@@ -220,7 +300,8 @@ func (p *Policy) Decide(stations []StationView, prio Prioritizer, cfg Config) De
 		Better: func(a, b string) bool {
 			return p.Ranker.Better(a, b, pool, prio, &cfg)
 		},
-		Cfg: &cfg,
+		Cfg:   &cfg,
+		Audit: aud,
 	})
 	p.met.grants.Add(uint64(len(d.Grants)))
 	p.met.preempts.Add(uint64(len(d.Preempts)))
@@ -228,7 +309,48 @@ func (p *Policy) Decide(stations []StationView, prio Prioritizer, cfg Config) De
 	return d
 }
 
+// Scorer is the optional Prioritizer extension the audit uses to attach
+// a numeric rank score to each requester: updown.Table exposes its
+// schedule index through exactly this shape (lower wins).
+type Scorer interface {
+	Index(name string) float64
+}
+
+// auditRank records each ranked requester with its prioritizer score
+// (when the Prioritizer is a Scorer) and the station-view features the
+// rankers read — the breakdown behind "why is my station ranked there".
+func (p *Policy) auditRank(requesters []string, pool *Pool, prio Prioritizer, aud *decision.Builder) {
+	sc, _ := prio.(Scorer)
+	for i, req := range requesters {
+		e := decision.RankEntry{Requester: req, Position: i}
+		if sc != nil {
+			e.Score, e.HasScore = sc.Index(req), true
+		}
+		m := pool.byName[req]
+		e.Features = append(e.Features,
+			decision.Feature{Key: "waiting", Value: strconv.Itoa(m.WaitingJobs)},
+			decision.Feature{Key: "held", Value: strconv.Itoa(m.HeldMachines)})
+		if m.ShortestJob > 0 {
+			e.Features = append(e.Features,
+				decision.Feature{Key: "shortest-job", Value: m.ShortestJob.String()})
+		}
+		if !m.EarliestDeadline.IsZero() {
+			e.Features = append(e.Features,
+				decision.Feature{Key: "deadline", Value: m.EarliestDeadline.Format(time.RFC3339)})
+		}
+		aud.Requester(e)
+	}
+}
+
 // ---- Standard predicates -------------------------------------------
+
+// Explainer is the optional Predicate extension behind the audit's
+// threshold-vs-observed detail: a predicate that can articulate the
+// comparison it failed returns both sides as short strings. Explain is
+// only called on the rejection path, after Admit returned false.
+type Explainer interface {
+	Explain(m *StationView, req string, cfg *Config) (threshold, observed string)
+}
 
 // IdlePredicate admits only machines with no owner or foreign activity.
 type IdlePredicate struct{}
@@ -238,6 +360,11 @@ func (IdlePredicate) Name() string { return "idle" }
 // Admit implements Predicate.
 func (IdlePredicate) Admit(m *StationView, _ string, _ *Config) bool {
 	return m.State == proto.StationIdle
+}
+
+// Explain implements Explainer.
+func (IdlePredicate) Explain(m *StationView, _ string, _ *Config) (string, string) {
+	return "state == idle", "state " + m.State.String()
 }
 
 // MinDiskPredicate enforces §4's free-space requirement: a station
@@ -251,6 +378,12 @@ func (MinDiskPredicate) Admit(m *StationView, _ string, cfg *Config) bool {
 	return cfg.MinDiskBytes <= 0 || m.DiskFree >= cfg.MinDiskBytes
 }
 
+// Explain implements Explainer.
+func (MinDiskPredicate) Explain(m *StationView, _ string, cfg *Config) (string, string) {
+	return fmt.Sprintf("disk >= %d bytes", cfg.MinDiskBytes),
+		fmt.Sprintf("%d bytes free", m.DiskFree)
+}
+
 // HealthPredicate blocks grants to machines the health grader marked
 // non-healthy. Zero Health means ungraded (eligible) so snapshots from
 // pre-health callers keep their old meaning.
@@ -261,6 +394,11 @@ func (HealthPredicate) Name() string { return "health" }
 // Admit implements Predicate.
 func (HealthPredicate) Admit(m *StationView, _ string, _ *Config) bool {
 	return m.Health == 0 || m.Health == proto.HealthHealthy
+}
+
+// Explain implements Explainer.
+func (HealthPredicate) Explain(m *StationView, _ string, _ *Config) (string, string) {
+	return "health == healthy", "health " + m.Health.String()
 }
 
 // ReservationPredicate enforces §5.3 reservations: a reserved machine
@@ -276,6 +414,11 @@ func (ReservationPredicate) Admit(m *StationView, req string, _ *Config) bool {
 		return true
 	}
 	return m.ReservedFor == "" || m.ReservedFor == req
+}
+
+// Explain implements Explainer.
+func (ReservationPredicate) Explain(m *StationView, req string, _ *Config) (string, string) {
+	return "reserved for " + m.ReservedFor, "requester " + req
 }
 
 // StandardPredicates is the filter chain every built-in policy uses.
@@ -394,10 +537,13 @@ func (OutrankPreemptor) Preempts(ctx *PreemptContext) []Preempt {
 		if ctx.Granted[req] {
 			continue
 		}
+		ctx.Audit.BeginPreempt(req)
 		victim, ok := pickVictimCtx(ctx, req, out)
 		if !ok {
+			ctx.Audit.PreemptOutcome("", "", "")
 			break // best requester can preempt nobody; worse ones cannot either
 		}
+		ctx.Audit.PreemptOutcome(victim.Name, victim.ForeignOwner, victim.ForeignJob)
 		out = append(out, Preempt{
 			Exec:        victim.Name,
 			JobID:       victim.ForeignJob,
@@ -427,8 +573,10 @@ func pickVictimCtx(ctx *PreemptContext, requester string, already []Preempt) (St
 			continue // never preempt yourself to serve yourself
 		}
 		if !ctx.Better(requester, s.ForeignOwner) {
+			ctx.Audit.PreemptCompared(s.Name, s.ForeignOwner, false)
 			continue
 		}
+		ctx.Audit.PreemptCompared(s.Name, s.ForeignOwner, true)
 		if !found || ctx.Better(victim.ForeignOwner, s.ForeignOwner) {
 			// s's owner is worse than the current victim's owner:
 			// prefer evicting the worst-priority holder.

@@ -172,61 +172,42 @@ func (DeadlineRanker) Better(a, b string, pool *Pool, prio Prioritizer, _ *Confi
 // outranked holder. It is decision-identical to the pre-pipeline
 // Decide — the golden fixtures prove it.
 func NewUpDown() *Policy {
+	return newStandardPolicy("updown", PrioRanker{})
+}
+
+// newStandardPolicy composes the standard predicate chain, config-driven
+// placement, and §2.4 outrank preemption around a ranker — the shape all
+// five built-ins share — and interns the policy's metric set (including
+// the per-predicate deny counters, parallel to the predicate chain).
+func newStandardPolicy(name string, ranker Ranker) *Policy {
+	preds := StandardPredicates()
 	return &Policy{
-		name:       "updown",
-		Predicates: StandardPredicates(),
-		Ranker:     PrioRanker{},
+		name:       name,
+		Predicates: preds,
+		Ranker:     ranker,
 		Placer:     ConfigPlacer{},
 		Preemptor:  OutrankPreemptor{},
-		met:        newPolicyMetrics("updown"),
+		met:        newPolicyMetrics(name, preds),
 	}
 }
 
 // NewFIFO composes the A3 ablation: arrival order instead of consumption
 // history.
 func NewFIFO() *Policy {
-	return &Policy{
-		name:       "fifo",
-		Predicates: StandardPredicates(),
-		Ranker:     &FIFORanker{F: NewFIFOPrioritizer()},
-		Placer:     ConfigPlacer{},
-		Preemptor:  OutrankPreemptor{},
-		met:        newPolicyMetrics("fifo"),
-	}
+	return newStandardPolicy("fifo", &FIFORanker{F: NewFIFOPrioritizer()})
 }
 
 // NewBusiestFirst composes the queue-pressure policy.
 func NewBusiestFirst() *Policy {
-	return &Policy{
-		name:       "busiest-first",
-		Predicates: StandardPredicates(),
-		Ranker:     BusiestRanker{},
-		Placer:     ConfigPlacer{},
-		Preemptor:  OutrankPreemptor{},
-		met:        newPolicyMetrics("busiest-first"),
-	}
+	return newStandardPolicy("busiest-first", BusiestRanker{})
 }
 
 // NewBackfill composes the short-jobs-jump-the-queue policy.
 func NewBackfill() *Policy {
-	return &Policy{
-		name:       "backfill",
-		Predicates: StandardPredicates(),
-		Ranker:     BackfillRanker{},
-		Placer:     ConfigPlacer{},
-		Preemptor:  OutrankPreemptor{},
-		met:        newPolicyMetrics("backfill"),
-	}
+	return newStandardPolicy("backfill", BackfillRanker{})
 }
 
 // NewDeadline composes earliest-deadline-first.
 func NewDeadline() *Policy {
-	return &Policy{
-		name:       "deadline",
-		Predicates: StandardPredicates(),
-		Ranker:     DeadlineRanker{},
-		Placer:     ConfigPlacer{},
-		Preemptor:  OutrankPreemptor{},
-		met:        newPolicyMetrics("deadline"),
-	}
+	return newStandardPolicy("deadline", DeadlineRanker{})
 }

@@ -17,6 +17,7 @@ import (
 
 	"condor/internal/accounting"
 	"condor/internal/cvm"
+	"condor/internal/decision"
 	"condor/internal/eventlog"
 )
 
@@ -401,6 +402,28 @@ type AccountingReply struct {
 	HasCoordinator bool
 }
 
+// DecisionsRequest asks the coordinator for its scheduling decision
+// audits — the per-cycle record of why each machine was filtered,
+// ranked, granted, or preempted. Filters compose (see decision.Filter):
+// Job keeps cycles naming the job ID in a grant/preempt; Station keeps
+// cycles mentioning the station in any role; Cycle selects one cycle
+// (>0 exact number, <0 from the newest, 0 all); Last keeps the newest N.
+type DecisionsRequest struct {
+	Job     string
+	Station string
+	Cycle   int64
+	Last    int
+}
+
+// DecisionsReply carries the matching cycle audits plus the recorder's
+// lifetime totals (Dropped > 0 means the ring wrapped and older cycles
+// are gone).
+type DecisionsReply struct {
+	Cycles  []decision.CycleAudit
+	Total   uint64
+	Dropped uint64
+}
+
 // WireStats reports the coordinator's pooled-connection activity:
 // how often station RPCs rode a cached connection versus paying a
 // fresh dial, plus reconnects after station restarts, idle evictions,
@@ -591,6 +614,7 @@ func init() {
 		CancelReservationRequest{}, CancelReservationReply{},
 		PoolStatusRequest{}, PoolStatusReply{},
 		AccountingRequest{}, AccountingReply{},
+		DecisionsRequest{}, DecisionsReply{},
 		PlaceRequest{}, PlaceReply{},
 		SyscallMsg{}, SyscallReplyMsg{},
 		JobDoneMsg{}, JobVacatedMsg{}, JobCheckpointMsg{},

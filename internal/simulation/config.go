@@ -14,6 +14,7 @@ import (
 
 	"condor/internal/avail"
 	"condor/internal/cost"
+	"condor/internal/decision"
 	"condor/internal/policy"
 	"condor/internal/updown"
 	"condor/internal/workload"
@@ -75,6 +76,12 @@ type Config struct {
 
 	// Classes overrides the machine availability classes.
 	Classes []avail.Class
+
+	// Audit, when non-nil, receives a decision audit for every poll
+	// cycle (internal/decision), exactly as the live coordinator records
+	// them — `condor-sim -explain` uses it to show where two policies'
+	// grant decisions diverge on the same workload. Nil costs nothing.
+	Audit *decision.Recorder
 
 	// CrashMTBF, when positive, makes machines crash (shut down) with
 	// exponentially distributed uptimes of this mean. A crash loses the

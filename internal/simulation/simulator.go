@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"condor/internal/avail"
+	"condor/internal/decision"
 	"condor/internal/policy"
 	"condor/internal/proto"
 	"condor/internal/sim"
@@ -100,6 +101,9 @@ type simulator struct {
 	// run matches the A3 ablation semantics).
 	pol        *policy.Policy
 	fifoRanker *policy.FIFORanker
+
+	// cycles numbers poll cycles for the decision audit ring.
+	cycles uint64
 
 	rep *Report
 }
@@ -526,9 +530,14 @@ func (s *simulator) pollCycle(now time.Time) {
 			s.table.Update(v.Name, v.HeldMachines, v.WaitingJobs > 0)
 		}
 	}
-	decision := s.pol.Decide(views, s.table, s.cfg.Policy)
+	s.cycles++
+	var aud *decision.Builder
+	if s.cfg.Audit != nil {
+		aud = decision.NewBuilder(s.cycles, now)
+	}
+	dec := s.pol.DecideAudited(views, s.table, s.cfg.Policy, aud)
 	perStation := make(map[string]int, 4)
-	for _, g := range decision.Grants {
+	for _, g := range dec.Grants {
 		u, ok := s.byHome[g.Requester]
 		if !ok {
 			continue
@@ -543,13 +552,14 @@ func (s *simulator) pollCycle(now time.Time) {
 			s.rep.peakStationBurst = n
 		}
 	}
-	for _, p := range decision.Preempts {
+	for _, p := range dec.Preempts {
 		m := s.byName[p.Exec]
 		if m != nil && m.foreign != nil && m.foreign.state == jobRunning {
 			s.rep.preempts++
 			s.vacate(m.foreign, now, "up-down preemption")
 		}
 	}
+	s.cfg.Audit.Record(aud.Done())
 }
 
 // shortestQueued is the remaining length of the shortest waiting job,

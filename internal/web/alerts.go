@@ -128,6 +128,35 @@ func ParseRules(specs []string) ([]Rule, error) {
 	return rules, nil
 }
 
+// KnownRuleFields is every field name Refresh publishes for rule
+// evaluation — the authoritative vocabulary a rule may reference. Eval
+// scores absent fields as 0, so before field validation a typo like
+// "qurantined > 2" parsed fine and then silently never fired; now it is
+// rejected at startup.
+var KnownRuleFields = []string{
+	"claimed", "coord_unreachable", "cycle_age", "cycle_lag", "cycles",
+	"degraded", "grants", "healthy", "idle", "jobs", "journal_errors",
+	"owner", "preempts", "quarantined", "running", "stations",
+	"suspect", "suspended", "unready", "utilization", "waiting",
+}
+
+// ValidateRuleFields rejects rules referencing fields the aggregator
+// never publishes, naming the offending rule so the operator can fix
+// the flag rather than discover a silent never-firing alert.
+func ValidateRuleFields(rules []Rule) error {
+	known := make(map[string]bool, len(KnownRuleFields))
+	for _, f := range KnownRuleFields {
+		known[f] = true
+	}
+	for _, r := range rules {
+		if !known[r.Field] {
+			return fmt.Errorf("web: rule %q: unknown field %q (known fields: %s)",
+				r.Name+": "+r.Expr(), r.Field, strings.Join(KnownRuleFields, ", "))
+		}
+	}
+	return nil
+}
+
 // holds evaluates the rule's comparison.
 func (r Rule) holds(v float64) bool {
 	switch r.Op {

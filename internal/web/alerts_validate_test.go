@@ -1,0 +1,48 @@
+package web
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidateRuleFields(t *testing.T) {
+	rules, err := ParseRules(DefaultRules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateRuleFields(rules); err != nil {
+		t.Fatalf("default rules failed field validation: %v", err)
+	}
+
+	// A typo'd field parses fine but must fail validation, naming the
+	// offending rule and its text.
+	bad, err := ParseRule("typo-rule: qurantined > 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	verr := ValidateRuleFields([]Rule{bad})
+	if verr == nil {
+		t.Fatal("unknown field passed validation")
+	}
+	for _, want := range []string{"typo-rule", "qurantined"} {
+		if !strings.Contains(verr.Error(), want) {
+			t.Errorf("error %q does not name %q", verr, want)
+		}
+	}
+}
+
+// NewServer must reject unknown-field rules at startup (fail fast),
+// not evaluate them forever against an implicit zero.
+func TestNewServerRejectsUnknownRuleField(t *testing.T) {
+	bad, err := ParseRule("typo-rule: qurantined > 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = NewServer(Config{CoordinatorAddr: "127.0.0.1:1", Rules: []Rule{bad}})
+	if err == nil {
+		t.Fatal("NewServer accepted a rule over a field Refresh never publishes")
+	}
+	if !strings.Contains(err.Error(), "qurantined") {
+		t.Errorf("startup error %q does not name the unknown field", err)
+	}
+}

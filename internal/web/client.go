@@ -103,6 +103,23 @@ func (c *Client) History(ctx context.Context, limit int) ([]eventlog.Event, erro
 	return hr.Events, nil
 }
 
+// Decisions fetches the coordinator's scheduling decision audits,
+// filtered server-side (see proto.DecisionsRequest for the filter
+// semantics).
+func (c *Client) Decisions(ctx context.Context, job, station string, cycle int64, last int) (proto.DecisionsReply, error) {
+	reply, err := c.call(ctx, c.coord, proto.DecisionsRequest{
+		Job: job, Station: station, Cycle: cycle, Last: last,
+	})
+	if err != nil {
+		return proto.DecisionsReply{}, err
+	}
+	dr, ok := reply.(proto.DecisionsReply)
+	if !ok {
+		return proto.DecisionsReply{}, fmt.Errorf("web: unexpected decisions reply %T", reply)
+	}
+	return dr, nil
+}
+
 // StationQueue fetches one station's job queue by its wire address.
 func (c *Client) StationQueue(ctx context.Context, addr string) (proto.QueueReply, error) {
 	reply, err := c.call(ctx, addr, proto.QueueRequest{})

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"condor/internal/accounting"
+	"condor/internal/decision"
 	"condor/internal/eventlog"
 	"condor/internal/proto"
 	"condor/internal/telemetry"
@@ -188,6 +189,12 @@ func NewServer(cfg Config) (*Server, error) {
 		}
 		cfg.Rules = rules
 	}
+	// Fail fast on rules over fields Refresh never publishes — Eval
+	// evaluates absent fields as 0, so an unvalidated typo becomes an
+	// alert that can never fire.
+	if err := ValidateRuleFields(cfg.Rules); err != nil {
+		return nil, err
+	}
 	s := &Server{
 		cfg:        cfg,
 		client:     NewClient(cfg.CoordinatorAddr),
@@ -215,6 +222,7 @@ func (s *Server) buildMux() *http.ServeMux {
 	mux.HandleFunc("/api/station", s.handleStation)
 	mux.HandleFunc("/api/jobs", s.handleJobs)
 	mux.HandleFunc("/api/events", s.handleEvents)
+	mux.HandleFunc("/api/decisions", s.handleDecisions)
 	// The dashboard daemon's own operational surface, plus local views of
 	// the shared trace recorder and accounting ledger (live when the
 	// daemons share this process; the coordinator's own -http listener
@@ -551,6 +559,38 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		events = []eventlog.Event{}
 	}
 	writeJSON(w, events)
+}
+
+// handleDecisions proxies the coordinator's scheduling decision audits
+// (the /decisions ring) through the dashboard's pooled wire client, so
+// the page's "Decisions" drill-down needs no second origin. Filters
+// mirror the coordinator's own /decisions endpoint: ?job, ?station,
+// ?cycle (negative counts from the newest), ?last.
+func (s *Server) handleDecisions(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	var cycle int64
+	if v := q.Get("cycle"); v != "" {
+		cycle, _ = strconv.ParseInt(v, 10, 64)
+	}
+	last := 0
+	if v := q.Get("last"); v != "" {
+		last, _ = strconv.Atoi(v)
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.client.timeout())
+	defer cancel()
+	reply, err := s.client.Decisions(ctx, q.Get("job"), q.Get("station"), cycle, last)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	// Re-shape the wire reply as a decision.Page so this endpoint's JSON
+	// is byte-compatible with the coordinator's own /decisions (the
+	// page's JS reads the same lowercase keys from either).
+	page := decision.Page{Cycles: reply.Cycles, Total: reply.Total, Dropped: reply.Dropped}
+	if page.Cycles == nil {
+		page.Cycles = []decision.CycleAudit{}
+	}
+	writeJSON(w, page)
 }
 
 // handleHealthz reports the aggregator's own readiness: it is ready

@@ -8,7 +8,9 @@ import (
 
 	"condor/internal/ckpt"
 	"condor/internal/coordinator"
+	"condor/internal/decision"
 	"condor/internal/machine"
+	"condor/internal/policy"
 	"condor/internal/ru"
 	"condor/internal/schedd"
 )
@@ -46,6 +48,14 @@ type PoolConfig struct {
 	SliceDelay time.Duration
 	// StepsPerSlice bounds instructions between control checks.
 	StepsPerSlice uint64
+	// Policy tunes the coordinator's allocation pipeline (predicates,
+	// grant caps, preemption). The zero value means policy.DefaultConfig.
+	Policy policy.Config
+	// Decisions overrides the decision-audit ring the coordinator
+	// records each cycle's explain trace into. Nil means the
+	// process-wide decision.Default ring, which the /decisions endpoint
+	// on a telemetry listener serves.
+	Decisions *decision.Recorder
 }
 
 func (c *PoolConfig) sanitize() {
@@ -71,10 +81,11 @@ func (c *PoolConfig) sanitize() {
 // Pool is an in-process Condor cluster: one coordinator and N stations
 // wired over real TCP on localhost.
 type Pool struct {
-	coord    *coordinator.Coordinator
-	stations map[string]*schedd.Station
-	monitors map[string]*machine.ScriptedMonitor
-	order    []string
+	coord     *coordinator.Coordinator
+	decisions *decision.Recorder
+	stations  map[string]*schedd.Station
+	monitors  map[string]*machine.ScriptedMonitor
+	order     []string
 }
 
 // NewPool builds and starts a cluster.
@@ -82,14 +93,21 @@ func NewPool(cfg PoolConfig) (*Pool, error) {
 	cfg.sanitize()
 	coord, err := coordinator.New(coordinator.Config{
 		PollInterval: cfg.PollInterval,
+		Policy:       cfg.Policy,
+		Decisions:    cfg.Decisions,
 	})
 	if err != nil {
 		return nil, err
 	}
+	decisions := cfg.Decisions
+	if decisions == nil {
+		decisions = decision.Default
+	}
 	p := &Pool{
-		coord:    coord,
-		stations: make(map[string]*schedd.Station, cfg.Stations),
-		monitors: make(map[string]*machine.ScriptedMonitor, cfg.Stations),
+		coord:     coord,
+		decisions: decisions,
+		stations:  make(map[string]*schedd.Station, cfg.Stations),
+		monitors:  make(map[string]*machine.ScriptedMonitor, cfg.Stations),
 	}
 	policy := ru.VacateSuspendFirst
 	if cfg.KillImmediately {
@@ -267,6 +285,16 @@ func (p *Pool) CoordinatorHistory(limit int) []Event {
 // Cycle forces one coordinator poll-decide-act cycle immediately,
 // instead of waiting for the next tick. Deterministic demos use it.
 func (p *Pool) Cycle() { p.coord.Cycle() }
+
+// Decisions pages through the coordinator's decision-audit ring — the
+// per-cycle explain traces behind /decisions and condor-explain. The
+// filters compose: job matches cycles whose grants or preempts name the
+// job, station matches any role (requester, rejected candidate, exec,
+// victim), cycle selects one cycle (>0 absolute, <0 from the newest),
+// and last keeps only the most recent N cycles.
+func (p *Pool) Decisions(job, station string, cycle int64, last int) decision.Page {
+	return p.decisions.PageFor(job, station, cycle, last)
+}
 
 func (p *Pool) home(jobID string) (*schedd.Station, error) {
 	idx := strings.LastIndex(jobID, "/")
